@@ -1,0 +1,143 @@
+// Command pmevo-bench regenerates the tables and figures of the paper's
+// evaluation (§5) against the simulated processors.
+//
+// Usage:
+//
+//	pmevo-bench -exp table1
+//	pmevo-bench -exp table3 -scale default
+//	pmevo-bench -exp figure8 -csv results/
+//	pmevo-bench -exp all -scale quick
+//
+// Experiments: table1, table2, table3, table4, figure6, figure7,
+// figure8, all. Tables 2–4 and Figure 7 share the same inference
+// pipelines and are computed together when any of them is requested.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"pmevo/internal/eval"
+)
+
+func main() {
+	expFlag := flag.String("exp", "all", "experiment to run: table1|table2|table3|table4|figure6|figure7|figure8|all")
+	scaleFlag := flag.String("scale", "default", "experiment scale: quick|default|full")
+	csvDir := flag.String("csv", "", "directory to write CSV result files into (optional)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	var scale eval.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = eval.QuickScale()
+	case "default":
+		scale = eval.DefaultScale()
+	case "full":
+		scale = eval.FullScale()
+	default:
+		fatalf("unknown scale %q (want quick, default, or full)", *scaleFlag)
+	}
+	scale.Seed = *seed
+
+	progress := func(msg string) { fmt.Fprintf(os.Stderr, "[pmevo-bench] %s\n", msg) }
+
+	want := map[string]bool{}
+	switch *expFlag {
+	case "all":
+		for _, e := range []string{"table1", "table2", "table3", "table4", "figure6", "figure7", "figure8"} {
+			want[e] = true
+		}
+	case "table1", "table2", "table3", "table4", "figure6", "figure7", "figure8", "figure8a", "figure8b", "ablation":
+		want[*expFlag] = true
+	default:
+		fatalf("unknown experiment %q", *expFlag)
+	}
+
+	if want["table1"] {
+		fmt.Println(eval.Table1())
+	}
+
+	if want["figure6"] {
+		progress("running Figure 6 sweep")
+		res, err := eval.RunFigure6(scale)
+		if err != nil {
+			fatalf("figure 6: %v", err)
+		}
+		fmt.Println(res.Render())
+		writeCSV(*csvDir, "figure6.csv", res.WriteCSV)
+	}
+
+	if want["table2"] || want["table3"] || want["table4"] || want["figure7"] {
+		suite, err := eval.NewSuite(scale, progress)
+		if err != nil {
+			fatalf("pipeline suite: %v", err)
+		}
+		if want["table2"] {
+			fmt.Println(eval.RenderTable2(suite.Table2()))
+		}
+		if want["table3"] || want["table4"] || want["figure7"] {
+			acc, err := suite.Accuracy(progress)
+			if err != nil {
+				fatalf("accuracy: %v", err)
+			}
+			if want["table3"] {
+				fmt.Println(acc.RenderTable3())
+			}
+			if want["table4"] {
+				fmt.Println(acc.RenderTable4())
+			}
+			if want["figure7"] {
+				fmt.Println(acc.RenderFigure7())
+			}
+			writeCSV(*csvDir, "accuracy.csv", acc.WriteCSV)
+		}
+	}
+
+	if want["ablation"] {
+		progress("running experiment-design ablation")
+		res, err := eval.RunExperimentDesignAblation(scale, 3)
+		if err != nil {
+			fatalf("ablation: %v", err)
+		}
+		fmt.Println(res.Render())
+		writeCSV(*csvDir, "ablation.csv", res.WriteCSV)
+	}
+
+	if want["figure8"] || want["figure8a"] || want["figure8b"] {
+		progress("running Figure 8 sweeps")
+		res, err := eval.RunFigure8(scale)
+		if err != nil {
+			fatalf("figure 8: %v", err)
+		}
+		fmt.Println(res.Render())
+		writeCSV(*csvDir, "figure8.csv", res.WriteCSV)
+	}
+}
+
+func writeCSV(dir, name string, write func(w io.Writer) error) {
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatalf("mkdir %s: %v", dir, err)
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("create %s: %v", path, err)
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		fatalf("write %s: %v", path, err)
+	}
+	fmt.Fprintf(os.Stderr, "[pmevo-bench] wrote %s\n", path)
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "pmevo-bench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,134 @@
+// Command pmevo-infer runs the PMEvo inference pipeline against one of
+// the simulated processors and writes the inferred port mapping as JSON.
+//
+// Usage:
+//
+//	pmevo-infer -proc SKL -o skl-mapping.json
+//	pmevo-infer -proc A72 -population 2000 -generations 80 -forms-per-class 5
+//
+// The pipeline only observes measured steady-state throughputs from the
+// simulated machine — never its hidden ground-truth mapping — exactly as
+// the paper's tool only observes wall-clock time on real hardware.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pmevo/internal/eval"
+	"pmevo/internal/export"
+	"pmevo/internal/portmap"
+	"pmevo/internal/throughput"
+)
+
+func main() {
+	procName := flag.String("proc", "SKL", "processor under test: SKL|ZEN|A72")
+	out := flag.String("o", "", "output file for the inferred mapping JSON (default: stdout)")
+	llvmOut := flag.String("llvm", "", "also write an LLVM-style scheduling model fragment to this file")
+	osacaOut := flag.String("osaca", "", "also write an OSACA-style machine model fragment to this file")
+	population := flag.Int("population", 300, "evolutionary algorithm population size")
+	generations := flag.Int("generations", 40, "maximum generations")
+	formsPerClass := flag.Int("forms-per-class", 3, "instruction forms per semantic class (0: all forms)")
+	seed := flag.Int64("seed", 1, "random seed")
+	verbose := flag.Bool("v", false, "print the mapping and a port usage table to stderr")
+	flag.Parse()
+
+	scale := eval.DefaultScale()
+	scale.Population = *population
+	scale.MaxGenerations = *generations
+	scale.MaxFormsPerClass = *formsPerClass
+	scale.Seed = *seed
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "[pmevo-infer] inferring port mapping for %s "+
+		"(population %d, max %d generations)\n", *procName, *population, *generations)
+	run, err := eval.RunPipeline(*procName, scale)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	res := run.Result
+
+	fmt.Fprintf(os.Stderr, "[pmevo-infer] measured %d experiments (simulated benchmarking cost: %.1f h)\n",
+		run.Harness.Measurements(), run.Harness.SimulatedBenchmarkingCost()/3600)
+	fmt.Fprintf(os.Stderr, "[pmevo-infer] %d forms -> %d congruence classes (%.0f%% congruent)\n",
+		run.SubISA.NumForms(), res.Classes.NumClasses(), res.CongruentFraction()*100)
+	fmt.Fprintf(os.Stderr, "[pmevo-infer] evolution: %d generations, %d fitness evaluations, Davg = %.3f\n",
+		res.Evo.Generations, res.Evo.FitnessEvaluations, res.Evo.BestError)
+	fmt.Fprintf(os.Stderr, "[pmevo-infer] mapping uses %d distinct µops; total time %s\n",
+		res.NumUops(), time.Since(start).Round(time.Millisecond))
+
+	// Report the prediction error of the inferred mapping on the
+	// measured training set, per the fitness definition.
+	var worst float64
+	var worstExp portmap.Experiment
+	for _, m := range res.Set.Measurements {
+		// Training-set experiments are in subset instruction space.
+		pred := throughput.OfExperiment(res.Mapping, m.Exp)
+		rel := abs(pred-m.Throughput) / m.Throughput
+		if rel > worst {
+			worst = rel
+			worstExp = m.Exp
+		}
+	}
+	fmt.Fprintf(os.Stderr, "[pmevo-infer] worst training-set error: %.1f%% on %v\n", worst*100, worstExp)
+
+	if *verbose {
+		fmt.Fprintln(os.Stderr, res.Mapping.String())
+		fmt.Fprintln(os.Stderr, res.Mapping.PortUsageTable())
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("create %s: %v", *out, err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := res.Mapping.WriteJSON(w); err != nil {
+		fatalf("writing mapping: %v", err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "[pmevo-infer] wrote %s\n", *out)
+	}
+
+	// Downstream-tool exports (§6: llvm-mca and OSACA "can benefit from
+	// port mappings by PMEvo").
+	if *llvmOut != "" {
+		writeExport(*llvmOut, func(f *os.File) error {
+			return export.LLVMSchedModel(f, res.Mapping, *procName+"Virt")
+		})
+	}
+	if *osacaOut != "" {
+		writeExport(*osacaOut, func(f *os.File) error {
+			return export.OSACAModel(f, res.Mapping, *procName+"Virt")
+		})
+	}
+}
+
+func writeExport(path string, write func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("create %s: %v", path, err)
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		fatalf("write %s: %v", path, err)
+	}
+	fmt.Fprintf(os.Stderr, "[pmevo-infer] wrote %s\n", path)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "pmevo-infer: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,91 @@
+// Command pmevo-sim predicts the throughput of an instruction mix under
+// a port mapping and reports the port pressure, in the style of
+// llvm-mca's resource-pressure view (the §6 use case for inferred
+// mappings).
+//
+// Usage:
+//
+//	pmevo-sim -proc SKL add_r64_r64:2 imul_r64_r64:1
+//	pmevo-sim -mapping skl-mapping.json add_r64_r64:1 shl_r64_i8:3
+//	pmevo-sim -proc SKL -list | grep mul
+//
+// Each argument is an instruction form name with an optional ":count"
+// suffix. With -proc, the processor's documented ground-truth mapping is
+// used; with -mapping, a JSON mapping produced by pmevo-infer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pmevo/internal/espec"
+	"pmevo/internal/portmap"
+	"pmevo/internal/throughput"
+	"pmevo/internal/uarch"
+)
+
+func main() {
+	procName := flag.String("proc", "SKL", "processor whose ground-truth mapping to use: SKL|ZEN|A72")
+	mappingFile := flag.String("mapping", "", "JSON port mapping file (overrides -proc's ground truth)")
+	list := flag.Bool("list", false, "list the available instruction form names and exit")
+	flag.Parse()
+
+	proc, err := uarch.ByName(*procName)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if *list {
+		for _, f := range proc.ISA.Forms() {
+			fmt.Println(f.Name())
+		}
+		return
+	}
+
+	mapping := proc.GroundTruth
+	if *mappingFile != "" {
+		f, err := os.Open(*mappingFile)
+		if err != nil {
+			fatalf("open mapping: %v", err)
+		}
+		mapping, err = portmap.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fatalf("parse mapping: %v", err)
+		}
+	}
+
+	// Resolve instruction names through the mapping's name table when
+	// available (an inferred mapping may cover a form subset), falling
+	// back to the processor ISA.
+	names := mapping.InstNames
+	if names == nil {
+		names = make([]string, proc.ISA.NumForms())
+		for _, f := range proc.ISA.Forms() {
+			names[f.ID] = f.Name()
+		}
+	}
+	resolver := espec.NewResolver(names)
+
+	if flag.NArg() == 0 {
+		fatalf("no instructions given; try: pmevo-sim -proc SKL add_r64_r64:2 imul_r64_r64\n" +
+			"use -list to see available instruction form names")
+	}
+	e, err := resolver.Parse(flag.Args())
+	if err != nil {
+		fatalf("%v (use -list to see available forms)", err)
+	}
+
+	analysis, err := throughput.Analyze(mapping, e)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("experiment: %s\n\n", resolver.Format(e))
+	fmt.Print(analysis.Render(mapping.PortNames))
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "pmevo-sim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,53 @@
+package pmevo_test
+
+import (
+	"fmt"
+
+	"pmevo"
+	"pmevo/internal/portmap"
+)
+
+// ExampleThroughput computes the throughput of the paper's Example 1:
+// {add→2, mul→1, store→1} under the Figure 2 mapping has throughput 1.5
+// cycles, limited by the two ALU ports.
+func ExampleThroughput() {
+	m := portmap.TwoLevelFromPorts(3, []pmevo.PortSet{
+		portmap.MakePortSet(0),    // mul: P1 only
+		portmap.MakePortSet(0, 1), // add: P1 or P2
+		portmap.MakePortSet(0, 1), // sub: P1 or P2
+		portmap.MakePortSet(2),    // store: P3
+	})
+	e := pmevo.Experiment{
+		{Inst: 1, Count: 2}, // 2× add
+		{Inst: 0, Count: 1}, // 1× mul
+		{Inst: 3, Count: 1}, // 1× store
+	}
+	fmt.Printf("%.1f cycles/iteration\n", pmevo.Throughput(m, e))
+	// Output: 1.5 cycles/iteration
+}
+
+// ExampleAnalyze shows the port-pressure view of the same experiment:
+// ports P1 and P2 form the bottleneck set Q* of the paper's Example 2.
+func ExampleAnalyze() {
+	m := portmap.TwoLevelFromPorts(3, []pmevo.PortSet{
+		portmap.MakePortSet(0),
+		portmap.MakePortSet(0, 1),
+		portmap.MakePortSet(0, 1),
+		portmap.MakePortSet(2),
+	})
+	e := pmevo.Experiment{{Inst: 1, Count: 2}, {Inst: 0, Count: 1}, {Inst: 3, Count: 1}}
+	a, _ := pmevo.Analyze(m, e)
+	fmt.Printf("throughput %.1f, bottleneck %s\n", a.Throughput, a.Bottleneck)
+	// Output: throughput 1.5, bottleneck {P0,P1}
+}
+
+// ExampleProcessor lists the evaluated virtual machines of Table 1.
+func ExampleProcessor() {
+	for _, p := range pmevo.Processors() {
+		fmt.Printf("%s: %s, %d model ports\n", p.Name, p.Microarch, p.Config.NumPorts)
+	}
+	// Output:
+	// SKL: Skylake, 9 model ports
+	// ZEN: Zen+, 10 model ports
+	// A72: Cortex-A72, 7 model ports
+}

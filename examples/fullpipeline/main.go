@@ -1,0 +1,102 @@
+// The fullpipeline example runs the complete PMEvo system against the
+// simulated Skylake-like processor at reduced scale: generate and
+// measure experiments on the virtual silicon, filter congruent forms,
+// evolve a port mapping, and score its predictions against fresh
+// measurements — a miniature of the paper's Table 3 row for PMEvo.
+//
+// Expect a runtime of a couple of minutes.
+//
+// Run with:
+//
+//	go run ./examples/fullpipeline [-proc SKL] [-forms 2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"pmevo/internal/eval"
+	"pmevo/internal/exp"
+	"pmevo/internal/measure"
+	"pmevo/internal/portmap"
+	"pmevo/internal/predictors"
+	"pmevo/internal/stats"
+)
+
+func main() {
+	procName := flag.String("proc", "SKL", "processor under test: SKL|ZEN|A72")
+	formsPerClass := flag.Int("forms", 2, "instruction forms per semantic class")
+	flag.Parse()
+
+	scale := eval.DefaultScale()
+	scale.MaxFormsPerClass = *formsPerClass
+	scale.Population = 300
+	scale.MaxGenerations = 40
+
+	start := time.Now()
+	fmt.Printf("running the PMEvo pipeline on the virtual %s...\n", *procName)
+	run, err := eval.RunPipeline(*procName, scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := run.Result
+	fmt.Printf("  %d forms, %d congruence classes, %d measured experiments\n",
+		run.SubISA.NumForms(), res.Classes.NumClasses(), run.Harness.Measurements())
+	fmt.Printf("  evolution: %d generations, Davg = %.3f, %d distinct µops\n",
+		res.Evo.Generations, res.Evo.BestError, res.NumUops())
+	fmt.Printf("  wall time: %s\n\n", time.Since(start).Round(time.Second))
+
+	fmt.Println("inferred mapping (congruence-class representatives):")
+	fmt.Print(res.RepMapping)
+
+	// Score against a fresh benchmark set, like §5.3: random size-5
+	// multisets measured on the virtual machine.
+	proc := run.Proc
+	mopts := measure.DefaultOptions()
+	mopts.Seed = 999
+	h, err := measure.NewHarness(proc, mopts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(999))
+	bench := exp.RandomBenchmarkSet(rng, run.SubISA.NumForms(), 400, 5)
+
+	pmevoPred := predictors.FromMapping("PMEvo", res.Mapping)
+	mca := predictors.LLVMMCA(proc)
+
+	var meas, predPM, predMCA []float64
+	for _, e := range bench {
+		full := make(portmap.Experiment, len(e))
+		for i, t := range e {
+			full[i] = portmap.InstCount{Inst: run.FormIDs[t.Inst], Count: t.Count}
+		}
+		m, err := h.Measure(full)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pp, err := pmevoPred.Predict(e)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pm, err := mca.Predict(full)
+		if err != nil {
+			log.Fatal(err)
+		}
+		meas = append(meas, m)
+		predPM = append(predPM, pp)
+		predMCA = append(predMCA, pm)
+	}
+
+	fmt.Printf("\naccuracy on %d fresh random experiments of size 5 (%s):\n", len(bench), proc.Name)
+	fmt.Printf("  %-10s MAPE %5.1f%%   Pearson %.2f   Spearman %.2f\n",
+		"PMEvo", stats.MAPE(predPM, meas), stats.Pearson(meas, predPM), stats.Spearman(meas, predPM))
+	fmt.Printf("  %-10s MAPE %5.1f%%   Pearson %.2f   Spearman %.2f\n",
+		"llvm-mca", stats.MAPE(predMCA, meas), stats.Pearson(meas, predMCA), stats.Spearman(meas, predMCA))
+
+	heat := stats.BinHeatmap(meas, predPM, 35, 10)
+	fmt.Println("\nPMEvo predicted-vs-measured heat map (cf. paper Figure 7):")
+	fmt.Print(heat.Render())
+}

@@ -1,0 +1,90 @@
+// The quickstart example infers a port mapping for a tiny made-up
+// processor using nothing but a throughput oracle, demonstrating the
+// public API end to end in well under a second.
+//
+// A hidden 3-port machine executes five instruction kinds; PMEvo only
+// gets to ask "how many cycles per iteration does this instruction mix
+// sustain?" — the same interface a real measurement harness provides —
+// and reconstructs a port mapping that explains every answer.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pmevo"
+	"pmevo/internal/isa"
+	"pmevo/internal/portmap"
+)
+
+// hiddenMachine is the secret ground truth: PMEvo never sees it, only
+// the throughputs it induces.
+func hiddenMachine() *pmevo.Mapping {
+	m := portmap.NewMapping(5, 3)
+	p01 := portmap.MakePortSet(0, 1)
+	p2 := portmap.MakePortSet(2)
+	m.SetDecomp(0, []portmap.UopCount{{Ports: p01, Count: 1}})                        // add
+	m.SetDecomp(1, []portmap.UopCount{{Ports: p01, Count: 1}})                        // sub
+	m.SetDecomp(2, []portmap.UopCount{{Ports: portmap.MakePortSet(0), Count: 1}})     // mul
+	m.SetDecomp(3, []portmap.UopCount{{Ports: p2, Count: 1}})                         // store
+	m.SetDecomp(4, []portmap.UopCount{{Ports: p01, Count: 1}, {Ports: p2, Count: 1}}) // push: 2 µops
+	return m
+}
+
+// oracle implements pmevo.Measurer by consulting the hidden machine.
+type oracle struct{ truth *pmevo.Mapping }
+
+func (o oracle) Measure(e pmevo.Experiment) (float64, error) {
+	return pmevo.Throughput(o.truth, e), nil
+}
+
+func main() {
+	// Describe the instructions under test (names and operands only —
+	// nothing about ports or µops).
+	miniISA := isa.New("mini")
+	for _, mnem := range []string{"add", "sub", "mul", "store", "push"} {
+		miniISA.MustAddForm(isa.Form{
+			Mnemonic: mnem,
+			Operands: []isa.Operand{
+				{Kind: isa.KindReg, Class: isa.ClassGPR, Width: 64, Write: true},
+				{Kind: isa.KindReg, Class: isa.ClassGPR, Width: 64, Read: true},
+			},
+			Class: mnem,
+		})
+	}
+
+	truth := hiddenMachine()
+
+	cfg := pmevo.DefaultConfig(3) // the user supplies the port count
+	cfg.Evo.PopulationSize = 200
+	cfg.Evo.MaxGenerations = 40
+	cfg.Evo.Seed = 42
+	cfg.Progress = func(stage string) { fmt.Println("  »", stage) }
+
+	fmt.Println("inferring a port mapping for the hidden 3-port machine:")
+	res, err := pmevo.Infer(miniISA, oracle{truth}, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\ninferred mapping:")
+	fmt.Print(res.Mapping)
+
+	fmt.Printf("\ncongruence classes: %d (add and sub should share one)\n",
+		res.Classes.NumClasses())
+	fmt.Printf("average prediction error on the measured experiments: %.1f%%\n",
+		res.Evo.BestError*100)
+
+	// Use the inferred mapping the way a compiler backend would: ask
+	// which of two instruction mixes sustains higher throughput.
+	mixA := pmevo.Experiment{{Inst: 0, Count: 2}, {Inst: 2, Count: 1}} // 2×add + mul
+	mixB := pmevo.Experiment{{Inst: 0, Count: 2}, {Inst: 3, Count: 1}} // 2×add + store
+	fmt.Printf("\npredicted cycles/iteration: mix A = %.2f, mix B = %.2f\n",
+		pmevo.Throughput(res.Mapping, mixA), pmevo.Throughput(res.Mapping, mixB))
+	fmt.Printf("ground-truth cycles/iter:   mix A = %.2f, mix B = %.2f\n",
+		pmevo.Throughput(truth, mixA), pmevo.Throughput(truth, mixB))
+}

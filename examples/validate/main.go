@@ -1,0 +1,192 @@
+// The validate example demonstrates mapping *refinement*: starting from
+// an existing but outdated port mapping (here: the degraded llvm-mca
+// model for the ZEN-like core), PMEvo's evolutionary search corrects it
+// against fresh measurements — the OSACA-style validation use case the
+// paper positions itself against (§6.1: "Our approach systematically
+// extends this line of work to derive new port mappings").
+//
+// The refined mapping is exported as an LLVM-style scheduling model
+// fragment, closing the loop the paper proposes ("llvm-mca and OSACA
+// can benefit from port mappings by PMEvo").
+//
+// Run with:
+//
+//	go run ./examples/validate
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"pmevo/internal/congruence"
+	"pmevo/internal/evo"
+	"pmevo/internal/exp"
+	"pmevo/internal/export"
+	"pmevo/internal/measure"
+	"pmevo/internal/portmap"
+	"pmevo/internal/stats"
+	"pmevo/internal/throughput"
+	"pmevo/internal/uarch"
+)
+
+func main() {
+	proc := uarch.ZEN()
+
+	// Work on a small stratified subset so the example runs in seconds.
+	var forms []int
+	for _, class := range proc.ISA.Classes() {
+		forms = append(forms, proc.ISA.FormsInClass(class)[0].ID)
+	}
+	fmt.Printf("refining the llvm-mca model for %s over %d instruction forms\n",
+		proc.Name, len(forms))
+
+	// Measure the paper's experiment set on the virtual machine.
+	h, err := measure.NewHarness(proc, measure.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	set, err := exp.GenerateAndMeasure(subsetMeasurer{h, forms}, len(forms))
+	if err != nil {
+		log.Fatal(err)
+	}
+	classes, err := congruence.Partition(set, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	repSet := classes.ProjectSet(set)
+
+	// The outdated starting point: llvm-mca's degraded model, projected
+	// onto the representatives.
+	stale := staleMapping(proc, forms, classes)
+	staleErr := davg(stale, repSet)
+	fmt.Printf("stale llvm-mca model: Davg = %.1f%% on the measured experiments\n", staleErr*100)
+
+	// Refine: warm-start the EA from the stale mapping, accuracy-leaning.
+	opts := evo.Options{
+		PopulationSize:  300,
+		MaxGenerations:  40,
+		NumPorts:        proc.Config.NumPorts,
+		LocalSearch:     true,
+		VolumeObjective: true,
+		AccuracyWeight:  4,
+		Seed:            7,
+		SeedMappings:    []*portmap.Mapping{stale},
+	}
+	res, err := evo.Run(repSet, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("refined mapping:      Davg = %.1f%% after %d generations\n",
+		res.BestError*100, res.Generations)
+
+	// Score stale vs refined on fresh random experiments.
+	rng := rand.New(rand.NewSource(99))
+	var meas, predStale, predRefined []float64
+	reps := classes.Rep
+	for i := 0; i < 300; i++ {
+		e := portmap.RandomExperiment(rng, repSet.NumInsts, 4)
+		full := make(portmap.Experiment, len(e))
+		for j, t := range e {
+			full[j] = portmap.InstCount{Inst: forms[reps[t.Inst]], Count: t.Count}
+		}
+		m, err := h.Measure(full)
+		if err != nil {
+			log.Fatal(err)
+		}
+		meas = append(meas, m)
+		predStale = append(predStale, throughput.OfExperiment(stale, e))
+		predRefined = append(predRefined, throughput.OfExperiment(res.Best, e))
+	}
+	fmt.Printf("\nfresh-experiment MAPE: stale %.1f%%  ->  refined %.1f%%\n",
+		stats.MAPE(predStale, meas), stats.MAPE(predRefined, meas))
+
+	// Export the refined mapping for llvm-mca-style consumption.
+	res.Best.InstNames = repNames(proc, forms, classes)
+	res.Best.PortNames = proc.PortNames
+	fmt.Println("\nLLVM scheduling model fragment (first lines):")
+	var sample lineLimiter
+	if err := export.LLVMSchedModel(&sample, res.Best, "ZenRefined"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(sample.String())
+}
+
+// subsetMeasurer translates subset indices to full-ISA form IDs.
+type subsetMeasurer struct {
+	h   *measure.Harness
+	ids []int
+}
+
+func (sm subsetMeasurer) Measure(e portmap.Experiment) (float64, error) {
+	full := make(portmap.Experiment, len(e))
+	for i, t := range e {
+		full[i] = portmap.InstCount{Inst: sm.ids[t.Inst], Count: t.Count}
+	}
+	return sm.h.Measure(full)
+}
+
+// staleMapping projects a degraded model — each µop restricted to its
+// single lowest port, like internal/predictors' ZEN llvm-mca model —
+// onto the congruence representatives of the form subset.
+func staleMapping(proc *uarch.Processor, forms []int, classes *congruence.Classes) *portmap.Mapping {
+	m := proc.GroundTruth.Clone()
+	for i, uops := range m.Decomp {
+		for j, uc := range uops {
+			if uc.Ports.Count() > 1 {
+				uops[j].Ports = portmap.SinglePort(uc.Ports.Min())
+			}
+		}
+		m.SetDecomp(i, uops)
+	}
+	out := portmap.NewMapping(classes.NumClasses(), m.NumPorts)
+	for cls, rep := range classes.Rep {
+		out.Decomp[cls] = append([]portmap.UopCount(nil), m.Decomp[forms[rep]]...)
+	}
+	return out
+}
+
+func repNames(proc *uarch.Processor, forms []int, classes *congruence.Classes) []string {
+	names := make([]string, classes.NumClasses())
+	for cls, rep := range classes.Rep {
+		names[cls] = proc.ISA.Form(forms[rep]).Name()
+	}
+	return names
+}
+
+// davg computes the average relative prediction error of a mapping on a
+// measured set.
+func davg(m *portmap.Mapping, set *exp.Set) float64 {
+	var te throughput.Evaluator
+	sum := 0.0
+	for _, meas := range set.Measurements {
+		pred := te.ThroughputOf(m, meas.Exp)
+		d := pred - meas.Throughput
+		if d < 0 {
+			d = -d
+		}
+		sum += d / meas.Throughput
+	}
+	return sum / float64(len(set.Measurements))
+}
+
+// lineLimiter collects the first 12 lines written to it.
+type lineLimiter struct {
+	lines int
+	buf   []byte
+}
+
+func (l *lineLimiter) Write(p []byte) (int, error) {
+	for _, b := range p {
+		if l.lines >= 12 {
+			break
+		}
+		l.buf = append(l.buf, b)
+		if b == '\n' {
+			l.lines++
+		}
+	}
+	return len(p), nil
+}
+
+func (l *lineLimiter) String() string { return string(l.buf) }

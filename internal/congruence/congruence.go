@@ -1,0 +1,194 @@
+// Package congruence implements the congruence filtering of paper §4.3:
+// instruction forms that the measured experiment set cannot distinguish
+// are merged into classes, and only one representative per class enters
+// the evolutionary search.
+//
+// Two instruction forms iA and iB are congruent iff
+//
+//   - their individual throughputs are equal up to ε, and
+//   - every two-instruction experiment shape {iA→m, iC→n} measures
+//     equally (up to ε) to its counterpart {iB→m, iC→n}, for every other
+//     form iC.
+//
+// Throughputs t1, t2 count as equal when their symmetric relative
+// difference |t1−t2| / (|t1+t2|/2) is below ε.
+package congruence
+
+import (
+	"fmt"
+	"sort"
+
+	"pmevo/internal/exp"
+	"pmevo/internal/portmap"
+)
+
+// Classes is a partition of the instruction forms into congruence
+// classes.
+type Classes struct {
+	// NumInsts is the size of the original instruction space.
+	NumInsts int
+	// ClassOf maps each instruction to its class index.
+	ClassOf []int
+	// Members lists the instructions of each class in increasing order.
+	Members [][]int
+	// Rep is the representative (smallest member) of each class.
+	Rep []int
+}
+
+// NumClasses returns the number of congruence classes.
+func (c *Classes) NumClasses() int { return len(c.Members) }
+
+// ReductionRatio returns the fraction of instructions eliminated by the
+// filtering, the "insns found congruent" row of Table 2.
+func (c *Classes) ReductionRatio() float64 {
+	if c.NumInsts == 0 {
+		return 0
+	}
+	return 1 - float64(c.NumClasses())/float64(c.NumInsts)
+}
+
+// Equal reports whether two throughputs are equal under the ε criterion.
+func Equal(t1, t2, epsilon float64) bool {
+	if t1 == t2 {
+		return true
+	}
+	mean := (abs(t1) + abs(t2)) / 2 // |t1+t2|/2 for positive throughputs
+	if mean == 0 {
+		return false
+	}
+	return abs(t1-t2)/mean < epsilon
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Partition computes the congruence classes of the measured set.
+func Partition(set *exp.Set, epsilon float64) (*Classes, error) {
+	if epsilon <= 0 {
+		return nil, fmt.Errorf("congruence: epsilon must be positive")
+	}
+	n := set.NumInsts
+	pairs := set.PairThroughputs()
+
+	// pairShape returns the measured throughput of {x→m, other→n} if
+	// present.
+	pairShape := func(x, m, other, n int) (float64, bool) {
+		if x == other {
+			return 0, false
+		}
+		k := exp.PairKey{A: x, CountA: m, B: other, CountB: n}
+		if x > other {
+			k = exp.PairKey{A: other, CountA: n, B: x, CountB: m}
+		}
+		tp, ok := pairs[k]
+		return tp, ok
+	}
+
+	// shapesOf collects, per instruction x, the set of (m, other, n)
+	// shapes that were measured with it.
+	type shape struct{ m, other, n int }
+	shapesOf := make([][]shape, n)
+	for k := range pairs {
+		shapesOf[k.A] = append(shapesOf[k.A], shape{m: k.CountA, other: k.B, n: k.CountB})
+		shapesOf[k.B] = append(shapesOf[k.B], shape{m: k.CountB, other: k.A, n: k.CountA})
+	}
+
+	congruent := func(a, b int) bool {
+		if !Equal(set.Individual[a], set.Individual[b], epsilon) {
+			return false
+		}
+		// Every shape measured with a must be measured with b (with the
+		// other instruction ≠ a, b) and agree, and vice versa.
+		check := func(x, y int) bool {
+			for _, s := range shapesOf[x] {
+				if s.other == x || s.other == y {
+					continue
+				}
+				tx, okx := pairShape(x, s.m, s.other, s.n)
+				ty, oky := pairShape(y, s.m, s.other, s.n)
+				if !okx {
+					continue
+				}
+				if !oky {
+					// The counterpart shape was not measured; the
+					// experiments cannot distinguish the two forms on a
+					// shape only one of them has, so skip it. (This
+					// happens for weighted pairs whose multiplier was
+					// derived from slightly different throughputs.)
+					continue
+				}
+				if !Equal(tx, ty, epsilon) {
+					return false
+				}
+			}
+			return true
+		}
+		return check(a, b) && check(b, a)
+	}
+
+	// Union-find over transitive merging. Congruence by ε-equality is
+	// not strictly transitive; following the paper we partition greedily
+	// into classes whose representative certifies membership.
+	classOf := make([]int, n)
+	for i := range classOf {
+		classOf[i] = -1
+	}
+	var members [][]int
+	var reps []int
+	for i := 0; i < n; i++ {
+		placed := false
+		for c := range reps {
+			if congruent(reps[c], i) {
+				classOf[i] = c
+				members[c] = append(members[c], i)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			classOf[i] = len(reps)
+			reps = append(reps, i)
+			members = append(members, []int{i})
+		}
+	}
+	for c := range members {
+		sort.Ints(members[c])
+	}
+	return &Classes{
+		NumInsts: n,
+		ClassOf:  classOf,
+		Members:  members,
+		Rep:      reps,
+	}, nil
+}
+
+// ProjectSet restricts a measurement set to class representatives,
+// renumbering instructions to class indices. Experiments mentioning
+// non-representative forms are dropped.
+func (c *Classes) ProjectSet(set *exp.Set) *exp.Set {
+	keep := make([]int, c.NumInsts)
+	for i := range keep {
+		keep[i] = -1
+	}
+	for cls, rep := range c.Rep {
+		keep[rep] = cls
+	}
+	return set.Project(keep, c.NumClasses())
+}
+
+// ExpandMapping lifts a mapping over class representatives back to the
+// full instruction space: every member of a class receives its
+// representative's decomposition.
+func (c *Classes) ExpandMapping(repMapping *portmap.Mapping, instNames []string) *portmap.Mapping {
+	full := portmap.NewMapping(c.NumInsts, repMapping.NumPorts)
+	for i := 0; i < c.NumInsts; i++ {
+		full.Decomp[i] = append([]portmap.UopCount(nil), repMapping.Decomp[c.ClassOf[i]]...)
+	}
+	full.InstNames = instNames
+	full.PortNames = repMapping.PortNames
+	return full
+}

@@ -1,0 +1,224 @@
+package congruence
+
+import (
+	"math"
+	"testing"
+
+	"pmevo/internal/exp"
+	"pmevo/internal/portmap"
+	"pmevo/internal/throughput"
+)
+
+// modelMeasurer measures exactly per a ground-truth mapping.
+type modelMeasurer struct{ m *portmap.Mapping }
+
+func (mm modelMeasurer) Measure(e portmap.Experiment) (float64, error) {
+	return throughput.OfExperiment(mm.m, e), nil
+}
+
+// buildSet measures the full §4.1 set for a mapping.
+func buildSet(t *testing.T, m *portmap.Mapping) *exp.Set {
+	t.Helper()
+	set, err := exp.GenerateAndMeasure(modelMeasurer{m}, m.NumInsts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(1.0, 1.0, 0.05) {
+		t.Error("identical values not equal")
+	}
+	if !Equal(1.0, 1.02, 0.05) {
+		t.Error("2% difference should be equal at eps=0.05")
+	}
+	if Equal(1.0, 1.2, 0.05) {
+		t.Error("20% difference should not be equal at eps=0.05")
+	}
+	if Equal(0, 1, 0.05) {
+		t.Error("0 vs 1 should not be equal")
+	}
+	if !Equal(0, 0, 0.05) {
+		t.Error("0 vs 0 should be equal")
+	}
+}
+
+func TestPartitionMergesIdenticalInstructions(t *testing.T) {
+	// add and sub on the same ports are indistinguishable; mul (other
+	// ports) is not.
+	m := portmap.NewMapping(3, 3)
+	p01 := portmap.MakePortSet(0, 1)
+	m.SetDecomp(0, []portmap.UopCount{{Ports: p01, Count: 1}})                    // add
+	m.SetDecomp(1, []portmap.UopCount{{Ports: p01, Count: 1}})                    // sub
+	m.SetDecomp(2, []portmap.UopCount{{Ports: portmap.MakePortSet(2), Count: 1}}) // mul
+
+	set := buildSet(t, m)
+	classes, err := Partition(set, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if classes.NumClasses() != 2 {
+		t.Fatalf("got %d classes, want 2: %v", classes.NumClasses(), classes.Members)
+	}
+	if classes.ClassOf[0] != classes.ClassOf[1] {
+		t.Error("add and sub should share a class")
+	}
+	if classes.ClassOf[2] == classes.ClassOf[0] {
+		t.Error("mul should be separate")
+	}
+	if got := classes.ReductionRatio(); math.Abs(got-1.0/3) > 1e-9 {
+		t.Errorf("ReductionRatio = %g, want 1/3", got)
+	}
+}
+
+func TestPartitionDistinguishesByPairBehaviour(t *testing.T) {
+	// i0 and i1 have the same individual throughput (1 cycle: one µop on
+	// one port) but live on different ports; i2 conflicts with i0 only.
+	// The pair experiments must separate i0 from i1.
+	m := portmap.NewMapping(3, 3)
+	m.SetDecomp(0, []portmap.UopCount{{Ports: portmap.MakePortSet(0), Count: 1}})
+	m.SetDecomp(1, []portmap.UopCount{{Ports: portmap.MakePortSet(1), Count: 1}})
+	m.SetDecomp(2, []portmap.UopCount{{Ports: portmap.MakePortSet(0), Count: 1}})
+
+	set := buildSet(t, m)
+	classes, err := Partition(set, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if classes.ClassOf[0] == classes.ClassOf[1] {
+		t.Error("i0 and i1 behave differently with i2 and must not merge")
+	}
+	if classes.ClassOf[0] != classes.ClassOf[2] {
+		// i0 and i2 are identical (same single port): should merge.
+		t.Error("i0 and i2 are indistinguishable and should merge")
+	}
+}
+
+func TestPartitionToleratesNoise(t *testing.T) {
+	// Identical instructions with small multiplicative noise still merge
+	// at eps=0.05 but not at a tiny epsilon.
+	m := portmap.NewMapping(2, 2)
+	p01 := portmap.MakePortSet(0, 1)
+	m.SetDecomp(0, []portmap.UopCount{{Ports: p01, Count: 1}})
+	m.SetDecomp(1, []portmap.UopCount{{Ports: p01, Count: 1}})
+
+	noisy := func(e portmap.Experiment) (float64, error) {
+		tp := throughput.OfExperiment(m, e)
+		// Deterministic ±1% skew depending on the experiment.
+		if len(e) > 0 && e[0].Inst == 1 {
+			tp *= 1.01
+		}
+		return tp, nil
+	}
+	set, err := exp.GenerateAndMeasure(measurerFunc(noisy), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := Partition(set, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.NumClasses() != 1 {
+		t.Errorf("eps=0.05: got %d classes, want 1", loose.NumClasses())
+	}
+	strict, err := Partition(set, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict.NumClasses() != 2 {
+		t.Errorf("eps=0.001: got %d classes, want 2", strict.NumClasses())
+	}
+}
+
+type measurerFunc func(portmap.Experiment) (float64, error)
+
+func (f measurerFunc) Measure(e portmap.Experiment) (float64, error) { return f(e) }
+
+func TestPartitionRejectsBadEpsilon(t *testing.T) {
+	set := &exp.Set{NumInsts: 1, Individual: []float64{1}}
+	if _, err := Partition(set, 0); err == nil {
+		t.Error("epsilon 0 accepted")
+	}
+	if _, err := Partition(set, -1); err == nil {
+		t.Error("negative epsilon accepted")
+	}
+}
+
+func TestProjectSetAndExpandMapping(t *testing.T) {
+	m := portmap.NewMapping(4, 3)
+	p01 := portmap.MakePortSet(0, 1)
+	p2 := portmap.MakePortSet(2)
+	m.SetDecomp(0, []portmap.UopCount{{Ports: p01, Count: 1}})
+	m.SetDecomp(1, []portmap.UopCount{{Ports: p01, Count: 1}}) // congruent to 0
+	m.SetDecomp(2, []portmap.UopCount{{Ports: p2, Count: 1}})
+	m.SetDecomp(3, []portmap.UopCount{{Ports: p2, Count: 1}}) // congruent to 2
+
+	set := buildSet(t, m)
+	classes, err := Partition(set, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if classes.NumClasses() != 2 {
+		t.Fatalf("got %d classes, want 2", classes.NumClasses())
+	}
+
+	proj := classes.ProjectSet(set)
+	if proj.NumInsts != 2 {
+		t.Errorf("projected NumInsts = %d", proj.NumInsts)
+	}
+	// The projected individual throughputs are those of the reps.
+	if proj.Individual[0] != set.Individual[classes.Rep[0]] {
+		t.Error("projected individuals wrong")
+	}
+
+	// Build a mapping over the representatives and expand it.
+	repMap := portmap.NewMapping(2, 3)
+	repMap.SetDecomp(0, []portmap.UopCount{{Ports: p01, Count: 2}})
+	repMap.SetDecomp(1, []portmap.UopCount{{Ports: p2, Count: 3}})
+	names := []string{"a", "b", "c", "d"}
+	full := classes.ExpandMapping(repMap, names)
+	if full.NumInsts() != 4 {
+		t.Fatalf("expanded mapping covers %d insts", full.NumInsts())
+	}
+	for _, i := range []int{0, 1} {
+		if full.UopCountOf(i) != 2 {
+			t.Errorf("inst %d: µop count %d, want 2", i, full.UopCountOf(i))
+		}
+	}
+	for _, i := range []int{2, 3} {
+		if full.UopCountOf(i) != 3 {
+			t.Errorf("inst %d: µop count %d, want 3", i, full.UopCountOf(i))
+		}
+	}
+	if full.InstNames[3] != "d" {
+		t.Error("expanded mapping lost names")
+	}
+	// Expanded decompositions must be copies, not aliases.
+	full.Decomp[0][0].Count = 99
+	if repMap.Decomp[0][0].Count == 99 {
+		t.Error("ExpandMapping aliases the representative decomposition")
+	}
+}
+
+func TestPartitionRepresentativeIsSmallestMember(t *testing.T) {
+	m := portmap.NewMapping(3, 2)
+	p01 := portmap.MakePortSet(0, 1)
+	for i := 0; i < 3; i++ {
+		m.SetDecomp(i, []portmap.UopCount{{Ports: p01, Count: 1}})
+	}
+	set := buildSet(t, m)
+	classes, err := Partition(set, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if classes.NumClasses() != 1 {
+		t.Fatalf("got %d classes", classes.NumClasses())
+	}
+	if classes.Rep[0] != 0 {
+		t.Errorf("representative = %d, want 0", classes.Rep[0])
+	}
+	if len(classes.Members[0]) != 3 {
+		t.Errorf("members = %v", classes.Members[0])
+	}
+}

@@ -1,0 +1,69 @@
+package congruence
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Report renders the congruence partition as human-readable text: one
+// line per class with its representative and members, largest classes
+// first. instNames may be nil, in which case instructions render as
+// I<n>.
+func (c *Classes) Report(instNames []string) string {
+	name := func(i int) string {
+		if instNames != nil && i < len(instNames) {
+			return instNames[i]
+		}
+		return fmt.Sprintf("I%d", i)
+	}
+	order := make([]int, c.NumClasses())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if len(c.Members[order[a]]) != len(c.Members[order[b]]) {
+			return len(c.Members[order[a]]) > len(c.Members[order[b]])
+		}
+		return order[a] < order[b]
+	})
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d instruction forms in %d congruence classes (%.0f%% congruent)\n",
+		c.NumInsts, c.NumClasses(), c.ReductionRatio()*100)
+	for _, cls := range order {
+		members := c.Members[cls]
+		fmt.Fprintf(&b, "class %d (%d forms, rep %s):", cls, len(members), name(c.Rep[cls]))
+		const maxShown = 8
+		for i, m := range members {
+			if i == maxShown {
+				fmt.Fprintf(&b, " … +%d more", len(members)-maxShown)
+				break
+			}
+			fmt.Fprintf(&b, " %s", name(m))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// WriteCSV emits "instruction,class,representative" rows.
+func (c *Classes) WriteCSV(w io.Writer, instNames []string) error {
+	name := func(i int) string {
+		if instNames != nil && i < len(instNames) {
+			return instNames[i]
+		}
+		return fmt.Sprintf("I%d", i)
+	}
+	if _, err := fmt.Fprintln(w, "instruction,class,representative"); err != nil {
+		return err
+	}
+	for i := 0; i < c.NumInsts; i++ {
+		cls := c.ClassOf[i]
+		if _, err := fmt.Fprintf(w, "%s,%d,%s\n", name(i), cls, name(c.Rep[cls])); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package congruence
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pmevo/internal/portmap"
+)
+
+func reportClasses(t *testing.T) *Classes {
+	t.Helper()
+	m := portmap.NewMapping(4, 3)
+	p01 := portmap.MakePortSet(0, 1)
+	p2 := portmap.MakePortSet(2)
+	m.SetDecomp(0, []portmap.UopCount{{Ports: p01, Count: 1}})
+	m.SetDecomp(1, []portmap.UopCount{{Ports: p01, Count: 1}})
+	m.SetDecomp(2, []portmap.UopCount{{Ports: p01, Count: 1}})
+	m.SetDecomp(3, []portmap.UopCount{{Ports: p2, Count: 1}})
+	set := buildSet(t, m)
+	classes, err := Partition(set, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return classes
+}
+
+func TestReport(t *testing.T) {
+	classes := reportClasses(t)
+	names := []string{"add", "sub", "or", "store"}
+	out := classes.Report(names)
+	if !strings.Contains(out, "4 instruction forms in 2 congruence classes") {
+		t.Errorf("header wrong:\n%s", out)
+	}
+	// Largest class first: the 3-member ALU class.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if !strings.Contains(lines[1], "3 forms") || !strings.Contains(lines[1], "add") {
+		t.Errorf("first class line = %q", lines[1])
+	}
+	if !strings.Contains(out, "store") {
+		t.Errorf("store class missing:\n%s", out)
+	}
+	// Without names, IDs render as I<n>.
+	anon := classes.Report(nil)
+	if !strings.Contains(anon, "I0") {
+		t.Errorf("anonymous report missing I0:\n%s", anon)
+	}
+}
+
+func TestReportTruncatesLargeClasses(t *testing.T) {
+	// 12 congruent forms: the member list is truncated with a count.
+	m := portmap.NewMapping(12, 2)
+	p01 := portmap.MakePortSet(0, 1)
+	for i := 0; i < 12; i++ {
+		m.SetDecomp(i, []portmap.UopCount{{Ports: p01, Count: 1}})
+	}
+	set := buildSet(t, m)
+	classes, err := Partition(set, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := classes.Report(nil)
+	if !strings.Contains(out, "+4 more") {
+		t.Errorf("expected truncation marker:\n%s", out)
+	}
+}
+
+func TestClassesCSV(t *testing.T) {
+	classes := reportClasses(t)
+	var buf bytes.Buffer
+	if err := classes.WriteCSV(&buf, []string{"add", "sub", "or", "store"}); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.HasPrefix(got, "instruction,class,representative\n") {
+		t.Errorf("CSV header missing:\n%s", got)
+	}
+	if !strings.Contains(got, "sub,0,add") {
+		t.Errorf("CSV rows wrong:\n%s", got)
+	}
+	if strings.Count(got, "\n") != 5 {
+		t.Errorf("CSV has %d lines", strings.Count(got, "\n"))
+	}
+}

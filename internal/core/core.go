@@ -1,0 +1,152 @@
+// Package core orchestrates the PMEvo pipeline of paper Figure 5:
+//
+//	ISA description ──► experiment generation ──► throughput measurement
+//	      # ports ──────► congruence filtering ──► evolutionary optimization
+//	                                                    │
+//	                                               port mapping
+//
+// The pipeline is agnostic to how experiments are measured: any
+// exp.Measurer works, including measure.Harness (the simulated hardware
+// of this reproduction) or a driver for real silicon. That separation is
+// exactly the paper's portability claim — only steady-state wall-clock
+// throughput is ever observed.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"pmevo/internal/congruence"
+	"pmevo/internal/evo"
+	"pmevo/internal/exp"
+	"pmevo/internal/isa"
+	"pmevo/internal/portmap"
+)
+
+// Config configures an inference run.
+type Config struct {
+	// NumPorts is the port count hyperparameter (Figure 5: "# ports").
+	NumPorts int
+	// Epsilon is the congruence-filtering tolerance (paper: 0.05).
+	Epsilon float64
+	// Evo configures the evolutionary algorithm. Evo.NumPorts is
+	// overridden by NumPorts.
+	Evo evo.Options
+	// PortNames optionally names the ports of the resulting mapping.
+	PortNames []string
+	// Progress, if non-nil, receives human-readable stage updates.
+	Progress func(stage string)
+}
+
+// DefaultConfig returns a medium-scale configuration for the given port
+// count.
+func DefaultConfig(numPorts int) Config {
+	return Config{
+		NumPorts: numPorts,
+		Epsilon:  0.05,
+		Evo:      evo.DefaultOptions(numPorts),
+	}
+}
+
+// Result is the outcome of an inference run.
+type Result struct {
+	// Mapping is the inferred port mapping over the full ISA.
+	Mapping *portmap.Mapping
+	// RepMapping is the mapping over congruence-class representatives
+	// that the evolutionary algorithm actually produced.
+	RepMapping *portmap.Mapping
+	// Classes is the congruence partition.
+	Classes *congruence.Classes
+	// Set is the complete measured experiment set; RepSet its projection
+	// onto class representatives.
+	Set    *exp.Set
+	RepSet *exp.Set
+	// Evo carries the evolutionary algorithm's statistics.
+	Evo *evo.Result
+	// MeasurementTime and InferenceTime split the wall-clock cost into
+	// the measurement phase and the search phase (the two time rows of
+	// Table 2).
+	MeasurementTime time.Duration
+	InferenceTime   time.Duration
+}
+
+// NumUops returns the number of distinct µops in the inferred mapping
+// (Table 2: "number of µops").
+func (r *Result) NumUops() int { return len(r.Mapping.DistinctUops()) }
+
+// CongruentFraction returns the fraction of instruction forms eliminated
+// by congruence filtering (Table 2: "insns found congruent").
+func (r *Result) CongruentFraction() float64 { return r.Classes.ReductionRatio() }
+
+// Infer runs the full PMEvo pipeline for the given ISA against the
+// measurer.
+func Infer(a *isa.ISA, m exp.Measurer, cfg Config) (*Result, error) {
+	if a == nil || a.NumForms() == 0 {
+		return nil, errors.New("core: empty ISA")
+	}
+	if m == nil {
+		return nil, errors.New("core: nil measurer")
+	}
+	if cfg.NumPorts <= 0 || cfg.NumPorts > portmap.MaxPorts {
+		return nil, fmt.Errorf("core: invalid port count %d", cfg.NumPorts)
+	}
+	if cfg.Epsilon <= 0 {
+		return nil, errors.New("core: epsilon must be positive")
+	}
+	progress := cfg.Progress
+	if progress == nil {
+		progress = func(string) {}
+	}
+
+	// Stage 1+2: experiment generation and measurement (§4.1, §4.2).
+	progress("generating and measuring experiments")
+	tMeasure := time.Now()
+	set, err := exp.GenerateAndMeasure(m, a.NumForms())
+	if err != nil {
+		return nil, fmt.Errorf("core: measurement failed: %w", err)
+	}
+	measurementTime := time.Since(tMeasure)
+
+	// Stage 3: congruence filtering (§4.3).
+	progress("congruence filtering")
+	tInfer := time.Now()
+	classes, err := congruence.Partition(set, cfg.Epsilon)
+	if err != nil {
+		return nil, err
+	}
+	repSet := classes.ProjectSet(set)
+
+	// Stage 4: evolutionary optimization over representatives (§4.4).
+	progress(fmt.Sprintf("evolving port mappings over %d representatives", repSet.NumInsts))
+	evoOpts := cfg.Evo
+	evoOpts.NumPorts = cfg.NumPorts
+	evoRes, err := evo.Run(repSet, evoOpts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Expand the representative mapping to the full ISA.
+	names := make([]string, a.NumForms())
+	for _, f := range a.Forms() {
+		names[f.ID] = f.Name()
+	}
+	full := classes.ExpandMapping(evoRes.Best, names)
+	full.PortNames = cfg.PortNames
+	evoRes.Best.PortNames = cfg.PortNames
+	if err := full.Validate(); err != nil {
+		return nil, fmt.Errorf("core: inferred mapping invalid: %w", err)
+	}
+	progress("done")
+
+	return &Result{
+		Mapping:         full,
+		RepMapping:      evoRes.Best,
+		Classes:         classes,
+		Set:             set,
+		RepSet:          repSet,
+		Evo:             evoRes,
+		MeasurementTime: measurementTime,
+		InferenceTime:   time.Since(tInfer),
+	}, nil
+}

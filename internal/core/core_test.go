@@ -1,0 +1,196 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pmevo/internal/evo"
+	"pmevo/internal/isa"
+	"pmevo/internal/portmap"
+	"pmevo/internal/throughput"
+)
+
+// miniISA builds a small ISA whose classes map 1:1 onto a hidden
+// mapping: 6 forms, two congruent pairs.
+func miniISA(t *testing.T) *isa.ISA {
+	t.Helper()
+	a := isa.New("mini")
+	for _, mnem := range []string{"add", "sub", "mul", "store", "load", "shuf"} {
+		a.MustAddForm(isa.Form{
+			Mnemonic: mnem,
+			Operands: []isa.Operand{
+				{Kind: isa.KindReg, Class: isa.ClassGPR, Width: 64, Write: true},
+				{Kind: isa.KindReg, Class: isa.ClassGPR, Width: 64, Read: true},
+			},
+			Class: mnem,
+		})
+	}
+	return a
+}
+
+// hiddenMapping: add/sub on p01 (congruent), mul on p0, store = p01+p2,
+// load on p2, shuf on p1.
+func hiddenMapping() *portmap.Mapping {
+	m := portmap.NewMapping(6, 3)
+	p01 := portmap.MakePortSet(0, 1)
+	m.SetDecomp(0, []portmap.UopCount{{Ports: p01, Count: 1}})
+	m.SetDecomp(1, []portmap.UopCount{{Ports: p01, Count: 1}})
+	m.SetDecomp(2, []portmap.UopCount{{Ports: portmap.MakePortSet(0), Count: 1}})
+	m.SetDecomp(3, []portmap.UopCount{{Ports: p01, Count: 1}, {Ports: portmap.MakePortSet(2), Count: 1}})
+	m.SetDecomp(4, []portmap.UopCount{{Ports: portmap.MakePortSet(2), Count: 1}})
+	m.SetDecomp(5, []portmap.UopCount{{Ports: portmap.MakePortSet(1), Count: 1}})
+	return m
+}
+
+type modelMeasurer struct {
+	m     *portmap.Mapping
+	calls int
+}
+
+func (mm *modelMeasurer) Measure(e portmap.Experiment) (float64, error) {
+	mm.calls++
+	return throughput.OfExperiment(mm.m, e), nil
+}
+
+func testConfig() Config {
+	cfg := DefaultConfig(3)
+	cfg.Evo = evo.Options{
+		PopulationSize:  200,
+		MaxGenerations:  40,
+		NumPorts:        3,
+		LocalSearch:     true,
+		VolumeObjective: true,
+		Seed:            13,
+		Workers:         2,
+	}
+	return cfg
+}
+
+func TestInferEndToEnd(t *testing.T) {
+	a := miniISA(t)
+	hidden := hiddenMapping()
+	mm := &modelMeasurer{m: hidden}
+	var stages []string
+	cfg := testConfig()
+	cfg.Progress = func(s string) { stages = append(stages, s) }
+
+	res, err := Infer(a, mm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mapping.NumInsts() != 6 {
+		t.Fatalf("mapping covers %d forms", res.Mapping.NumInsts())
+	}
+	if err := res.Mapping.Validate(); err != nil {
+		t.Fatalf("invalid mapping: %v", err)
+	}
+	// add and sub are congruent; the filter must merge at least them.
+	if res.Classes.NumClasses() >= 6 {
+		t.Errorf("no congruence found: %d classes", res.Classes.NumClasses())
+	}
+	if res.Classes.ClassOf[0] != res.Classes.ClassOf[1] {
+		t.Error("add and sub should be congruent")
+	}
+	// Expanded mapping must give congruent forms identical decomps.
+	if res.Mapping.UopCountOf(0) != res.Mapping.UopCountOf(1) {
+		t.Error("congruent forms have different decompositions")
+	}
+	// Prediction quality on the training set.
+	if res.Evo.BestError > 0.06 {
+		t.Errorf("final Davg = %g", res.Evo.BestError)
+	}
+	// The full mapping must predict well on experiments over ALL forms
+	// (not just representatives).
+	worst := 0.0
+	for _, e := range []portmap.Experiment{
+		{{Inst: 1, Count: 1}, {Inst: 3, Count: 1}},
+		{{Inst: 0, Count: 2}, {Inst: 4, Count: 1}},
+		{{Inst: 5, Count: 1}, {Inst: 2, Count: 1}, {Inst: 1, Count: 1}},
+	} {
+		want := throughput.OfExperiment(hidden, e)
+		got := throughput.OfExperiment(res.Mapping, e)
+		if rel := math.Abs(got-want) / want; rel > worst {
+			worst = rel
+		}
+	}
+	// The two-objective fitness trades some worst-case accuracy for
+	// compactness (the paper's heat maps show comparable outliers).
+	if worst > 0.35 {
+		t.Errorf("worst full-ISA prediction error %g", worst)
+	}
+	// Progress reporting fired for every stage.
+	joined := strings.Join(stages, ";")
+	for _, want := range []string{"measuring", "congruence", "evolving", "done"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing progress stage %q in %v", want, stages)
+		}
+	}
+	if res.MeasurementTime <= 0 || res.InferenceTime <= 0 {
+		t.Error("timings not recorded")
+	}
+	if res.NumUops() < 1 {
+		t.Error("no µops in result")
+	}
+	if res.CongruentFraction() <= 0 {
+		t.Error("congruent fraction should be positive")
+	}
+}
+
+func TestInferValidation(t *testing.T) {
+	a := miniISA(t)
+	mm := &modelMeasurer{m: hiddenMapping()}
+	if _, err := Infer(nil, mm, testConfig()); err == nil {
+		t.Error("nil ISA accepted")
+	}
+	if _, err := Infer(isa.New("empty"), mm, testConfig()); err == nil {
+		t.Error("empty ISA accepted")
+	}
+	if _, err := Infer(a, nil, testConfig()); err == nil {
+		t.Error("nil measurer accepted")
+	}
+	bad := testConfig()
+	bad.NumPorts = 0
+	if _, err := Infer(a, mm, bad); err == nil {
+		t.Error("zero ports accepted")
+	}
+	bad = testConfig()
+	bad.Epsilon = 0
+	if _, err := Infer(a, mm, bad); err == nil {
+		t.Error("zero epsilon accepted")
+	}
+}
+
+func TestInferDeterministic(t *testing.T) {
+	a := miniISA(t)
+	cfg := testConfig()
+	cfg.Evo.MaxGenerations = 8
+	r1, err := Infer(a, &modelMeasurer{m: hiddenMapping()}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Infer(a, &modelMeasurer{m: hiddenMapping()}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Mapping.Equal(r2.Mapping) {
+		t.Error("same seed produced different mappings")
+	}
+}
+
+func TestInferUsesPortNames(t *testing.T) {
+	a := miniISA(t)
+	cfg := testConfig()
+	cfg.Evo.MaxGenerations = 5
+	cfg.PortNames = []string{"A", "B", "C"}
+	res, err := Infer(a, &modelMeasurer{m: hiddenMapping()}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mapping.PortNames[1] != "B" {
+		t.Errorf("PortNames = %v", res.Mapping.PortNames)
+	}
+	if res.Mapping.InstNames[0] != "add_r64_r64" {
+		t.Errorf("InstNames = %v", res.Mapping.InstNames[:2])
+	}
+}

@@ -1,0 +1,161 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"pmevo/internal/evo"
+	"pmevo/internal/exp"
+	"pmevo/internal/portmap"
+	"pmevo/internal/stats"
+	"pmevo/internal/throughput"
+)
+
+// ExperimentDesignResult compares inference quality under different
+// experiment-set designs (§4.1's design-space exploration): singletons
+// plus plain pairs only, the paper's design (plus weighted pairs), and
+// the paper's design extended with triples. For each design the EA runs
+// on measurements from a hidden random machine and is scored on a fresh
+// probe set against the hidden truth.
+type ExperimentDesignResult struct {
+	Rows []ExperimentDesignRow
+}
+
+// ExperimentDesignRow is one design's outcome.
+type ExperimentDesignRow struct {
+	Design      string
+	Experiments int
+	TrainDavg   float64
+	ProbeMAPE   float64
+}
+
+// RunExperimentDesignAblation evaluates the three designs on `trials`
+// hidden machines and averages the scores.
+func RunExperimentDesignAblation(scale Scale, trials int) (*ExperimentDesignResult, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	if trials < 1 {
+		return nil, fmt.Errorf("eval: need at least one trial")
+	}
+	const (
+		numInsts = 10
+		numPorts = 6
+		probeLen = 4
+		probes   = 200
+	)
+	designs := []string{"pairs-only", "paper (weighted pairs)", "paper + triples"}
+	sums := make([]ExperimentDesignRow, len(designs))
+	for i := range sums {
+		sums[i].Design = designs[i]
+	}
+
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(scale.Seed + int64(trial)*101))
+		hidden := portmap.Random(rng, portmap.RandomOptions{
+			NumInsts: numInsts, NumPorts: numPorts, MaxUops: 2,
+		})
+		oracle := oracleMeasurer{hidden}
+
+		// The full paper set, measured once; designs select subsets.
+		full, err := exp.GenerateAndMeasure(oracle, numInsts)
+		if err != nil {
+			return nil, err
+		}
+
+		// Design 0: singletons + plain pairs only.
+		pairsOnly := &exp.Set{NumInsts: numInsts, Individual: full.Individual}
+		for _, m := range full.Measurements {
+			n := m.Exp.Normalize()
+			plain := true
+			for _, t := range n {
+				if t.Count != 1 {
+					plain = false
+				}
+			}
+			if plain {
+				pairsOnly.Measurements = append(pairsOnly.Measurements, m)
+			}
+		}
+
+		// Design 2: the paper's set extended with measured triples.
+		withTriples := &exp.Set{
+			NumInsts:     numInsts,
+			Individual:   full.Individual,
+			Measurements: append([]exp.Measurement(nil), full.Measurements...),
+		}
+		if _, err := withTriples.ExtendWithTriples(oracle, rng, 40, true); err != nil {
+			return nil, err
+		}
+
+		sets := []*exp.Set{pairsOnly, full, withTriples}
+		probesExps := make([]portmap.Experiment, probes)
+		meas := make([]float64, probes)
+		for i := range probesExps {
+			probesExps[i] = portmap.RandomExperiment(rng, numInsts, probeLen)
+			meas[i] = throughput.OfExperiment(hidden, probesExps[i])
+		}
+
+		for d, set := range sets {
+			opts := evo.Options{
+				PopulationSize:  scale.Population,
+				MaxGenerations:  scale.MaxGenerations,
+				NumPorts:        numPorts,
+				LocalSearch:     true,
+				VolumeObjective: true,
+				Seed:            scale.Seed + int64(trial),
+			}
+			res, err := evo.Run(set, opts)
+			if err != nil {
+				return nil, err
+			}
+			pred := make([]float64, probes)
+			for i, e := range probesExps {
+				pred[i] = throughput.OfExperiment(res.Best, e)
+			}
+			sums[d].Experiments += set.NumExperiments()
+			sums[d].TrainDavg += res.BestError
+			sums[d].ProbeMAPE += stats.MAPE(pred, meas)
+		}
+	}
+	for i := range sums {
+		sums[i].Experiments /= trials
+		sums[i].TrainDavg /= float64(trials)
+		sums[i].ProbeMAPE /= float64(trials)
+	}
+	return &ExperimentDesignResult{Rows: sums}, nil
+}
+
+type oracleMeasurer struct{ m *portmap.Mapping }
+
+func (o oracleMeasurer) Measure(e portmap.Experiment) (float64, error) {
+	return throughput.OfExperiment(o.m, e), nil
+}
+
+// Render formats the ablation table.
+func (r *ExperimentDesignResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Experiment-design ablation (§4.1): inference quality by experiment set\n\n")
+	b.WriteString("design                    experiments  train Davg  probe MAPE\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-25s %11d  %9.3f  %9.1f%%\n",
+			row.Design, row.Experiments, row.TrainDavg, row.ProbeMAPE)
+	}
+	return b.String()
+}
+
+// WriteCSV emits the rows.
+func (r *ExperimentDesignResult) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "design,experiments,train_davg,probe_mape"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "%s,%d,%.4f,%.4f\n",
+			row.Design, row.Experiments, row.TrainDavg, row.ProbeMAPE); err != nil {
+			return err
+		}
+	}
+	return nil
+}

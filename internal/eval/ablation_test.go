@@ -1,0 +1,56 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExperimentDesignAblation(t *testing.T) {
+	scale := QuickScale()
+	scale.Population = 120
+	scale.MaxGenerations = 20
+	res, err := RunExperimentDesignAblation(scale, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d designs", len(res.Rows))
+	}
+	// The paper's design includes the pairs-only set plus weighted pairs.
+	if res.Rows[1].Experiments <= res.Rows[0].Experiments {
+		t.Errorf("paper design should measure more experiments than pairs-only: %d vs %d",
+			res.Rows[1].Experiments, res.Rows[0].Experiments)
+	}
+	if res.Rows[2].Experiments <= res.Rows[1].Experiments {
+		t.Errorf("triples design should measure more experiments: %d vs %d",
+			res.Rows[2].Experiments, res.Rows[1].Experiments)
+	}
+	for _, row := range res.Rows {
+		if row.ProbeMAPE < 0 || row.ProbeMAPE > 200 {
+			t.Errorf("%s: implausible probe MAPE %.1f", row.Design, row.ProbeMAPE)
+		}
+	}
+	out := res.Render()
+	if !strings.Contains(out, "pairs-only") || !strings.Contains(out, "paper + triples") {
+		t.Errorf("render missing designs:\n%s", out)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "\n") != 4 {
+		t.Errorf("CSV line count wrong:\n%s", buf.String())
+	}
+}
+
+func TestExperimentDesignAblationValidation(t *testing.T) {
+	if _, err := RunExperimentDesignAblation(QuickScale(), 0); err == nil {
+		t.Error("zero trials accepted")
+	}
+	bad := QuickScale()
+	bad.Population = 0
+	if _, err := RunExperimentDesignAblation(bad, 1); err == nil {
+		t.Error("invalid scale accepted")
+	}
+}

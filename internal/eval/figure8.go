@@ -1,0 +1,153 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"time"
+
+	"pmevo/internal/portmap"
+	"pmevo/internal/stats"
+	"pmevo/internal/throughput"
+)
+
+// Figure8Point is one (x, engine time) sample of the §5.4 performance
+// study: the median over mapping/experiment configurations of the mean
+// seconds-per-simulation.
+type Figure8Point struct {
+	X             int // number of ports (8a) or experiment length (8b)
+	BottleneckSec float64
+	LPSec         float64
+}
+
+// Figure8Result holds both sweeps of paper Figure 8.
+type Figure8Result struct {
+	// PortSweep varies the number of ports at experiment length 4 (8a).
+	PortSweep []Figure8Point
+	// LengthSweep varies the experiment length at 10 ports (8b).
+	LengthSweep []Figure8Point
+}
+
+// figure8ISASize is the artificial instruction count of §5.4 (the size
+// is irrelevant to both engines; only experiment contents matter).
+const figure8ISASize = 100
+
+// RunFigure8 measures both sweeps. Following §5.4, each configuration
+// samples `Figure8Mappings` random three-level mappings and
+// `Figure8Experiments` random experiments per mapping; each pair is
+// simulated `Figure8Reps` times and the mean time per simulation is
+// recorded; the point plotted is the median over pairs.
+func RunFigure8(scale Scale) (*Figure8Result, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Figure8Result{}
+	for ports := 4; ports <= 20; ports++ {
+		p, err := figure8Config(scale, ports, 4, int64(ports)*7+scale.Seed)
+		if err != nil {
+			return nil, err
+		}
+		res.PortSweep = append(res.PortSweep, p)
+	}
+	for length := 1; length <= 10; length++ {
+		p, err := figure8Config(scale, 10, length, int64(length)*13+scale.Seed)
+		if err != nil {
+			return nil, err
+		}
+		p.X = length
+		res.LengthSweep = append(res.LengthSweep, p)
+	}
+	return res, nil
+}
+
+// figure8Config measures one (ports, length) configuration.
+func figure8Config(scale Scale, ports, length int, seed int64) (Figure8Point, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var bnTimes, lpTimes []float64
+	var ev throughput.Evaluator
+	for m := 0; m < scale.Figure8Mappings; m++ {
+		mapping := portmap.Random(rng, portmap.RandomOptions{
+			NumInsts: figure8ISASize,
+			NumPorts: ports,
+			MaxUops:  3, // realistic µop counts per instruction
+		})
+		for e := 0; e < scale.Figure8Experiments; e++ {
+			expr := portmap.RandomExperiment(rng, figure8ISASize, length)
+			terms := mapping.Flatten(expr)
+
+			// Bottleneck simulation algorithm: the paper's Θ(2^|P|)
+			// table variant, so the exponential port-count behaviour
+			// of §5.4 stays measurable (the production entry point
+			// Evaluator.Bottleneck additionally dispatches to a
+			// union-enumeration shortcut; see the ablation benchmarks).
+			start := time.Now()
+			var bn float64
+			for r := 0; r < scale.Figure8Reps; r++ {
+				bn = ev.BottleneckTable(terms)
+			}
+			bnTimes = append(bnTimes, time.Since(start).Seconds()/float64(scale.Figure8Reps))
+
+			// LP solver, including model construction (§5.4: "The
+			// running times reported for the LP version include model
+			// construction ... as well as the actual solving").
+			start = time.Now()
+			var lpv float64
+			for r := 0; r < scale.Figure8Reps; r++ {
+				v, err := throughput.LP(terms, ports)
+				if err != nil {
+					return Figure8Point{}, err
+				}
+				lpv = v
+			}
+			lpTimes = append(lpTimes, time.Since(start).Seconds()/float64(scale.Figure8Reps))
+
+			// Cross-check while we are here: both engines must agree.
+			if diff := bn - lpv; diff > 1e-6 || diff < -1e-6 {
+				return Figure8Point{}, fmt.Errorf(
+					"engines disagree at ports=%d length=%d: %g vs %g", ports, length, bn, lpv)
+			}
+		}
+	}
+	return Figure8Point{
+		X:             ports,
+		BottleneckSec: stats.Median(bnTimes),
+		LPSec:         stats.Median(lpTimes),
+	}, nil
+}
+
+// Render draws both sweeps as text tables.
+func (r *Figure8Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 8a. Time per simulation, varying port count (experiment length 4)\n\n")
+	b.WriteString("ports   bottleneck (s)  LP solver (s)  speedup\n")
+	for _, p := range r.PortSweep {
+		fmt.Fprintf(&b, "%5d   %14.3g  %13.3g  %6.1fx\n",
+			p.X, p.BottleneckSec, p.LPSec, p.LPSec/p.BottleneckSec)
+	}
+	b.WriteString("\nFigure 8b. Time per simulation, varying experiment length (10 ports)\n\n")
+	b.WriteString("length  bottleneck (s)  LP solver (s)  speedup\n")
+	for _, p := range r.LengthSweep {
+		fmt.Fprintf(&b, "%5d   %14.3g  %13.3g  %6.1fx\n",
+			p.X, p.BottleneckSec, p.LPSec, p.LPSec/p.BottleneckSec)
+	}
+	return b.String()
+}
+
+// WriteCSV emits both sweeps.
+func (r *Figure8Result) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "sweep,x,bottleneck_sec,lp_sec"); err != nil {
+		return err
+	}
+	for _, p := range r.PortSweep {
+		if _, err := fmt.Fprintf(w, "ports,%d,%.9g,%.9g\n", p.X, p.BottleneckSec, p.LPSec); err != nil {
+			return err
+		}
+	}
+	for _, p := range r.LengthSweep {
+		if _, err := fmt.Fprintf(w, "length,%d,%.9g,%.9g\n", p.X, p.BottleneckSec, p.LPSec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"pmevo/internal/uarch"
+)
+
+// Table1 renders the evaluated-processors overview (paper Table 1).
+func Table1() string {
+	procs := uarch.All()
+	var b strings.Builder
+	b.WriteString("Table 1. Evaluated processors\n\n")
+	rows := []struct {
+		label string
+		get   func(*uarch.Processor) string
+	}{
+		{"Manufact.", func(p *uarch.Processor) string { return p.Manufacturer }},
+		{"Processor", func(p *uarch.Processor) string { return p.ProcessorStr }},
+		{"Microarch.", func(p *uarch.Processor) string { return p.Microarch }},
+		{"# Ports", func(p *uarch.Processor) string { return p.PortsStr }},
+		{"Instr. Set", func(p *uarch.Processor) string { return p.InstrSet }},
+		{"Clock Freq.", func(p *uarch.Processor) string { return fmt.Sprintf("%.1f GHz", p.ClockGHz) }},
+		{"RAM", func(p *uarch.Processor) string { return fmt.Sprintf("%d GB", p.RAMGB) }},
+		{"Port counters", func(p *uarch.Processor) string {
+			if p.HasPortCounters {
+				return "yes"
+			}
+			return "no"
+		}},
+	}
+	fmt.Fprintf(&b, "%-14s", "")
+	for _, p := range procs {
+		fmt.Fprintf(&b, "%-16s", p.Name)
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s", r.label)
+		for _, p := range procs {
+			fmt.Fprintf(&b, "%-16s", r.get(p))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

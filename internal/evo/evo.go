@@ -1,0 +1,499 @@
+// Package evo implements the evolutionary algorithm of paper §4.4 that
+// searches for a port mapping explaining a set of measured throughputs.
+//
+// The algorithm follows the paper's Algorithm 1:
+//
+//	initialize population randomly
+//	while not done:
+//	    apply evolutionary operators   (binary recombination, no mutation)
+//	    evaluate fitness               (bottleneck simulation, §4.5)
+//	    select new population          (best p of 2p)
+//	perform local search               (greedy hill climbing on µop counts)
+//	return fittest individual
+//
+// Fitness scalarizes two objectives (a priori scalarization of the
+// multiobjective problem): the average relative prediction error Davg and
+// the µop volume V, each affinely normalized to [0, 1000] over the
+// current combined population.
+//
+// Per the paper, there is no mutation operator by default: experiments
+// showed little benefit over spending the same fitness evaluations on a
+// larger population. A mutation rate is retained as an explicit ablation
+// knob.
+package evo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"pmevo/internal/exp"
+	"pmevo/internal/portmap"
+	"pmevo/internal/throughput"
+)
+
+// Options configures the evolutionary algorithm.
+type Options struct {
+	// PopulationSize is p: each generation keeps the best p of 2p
+	// individuals. The paper's evaluation uses 100,000; scaled-down runs
+	// converge on small ISAs with far less.
+	PopulationSize int
+	// MaxGenerations bounds the evolution loop.
+	MaxGenerations int
+	// NumPorts is the |P| hyperparameter given by the user (Figure 5:
+	// "# ports").
+	NumPorts int
+	// MaxUopsPerInst bounds the distinct µops sampled per instruction at
+	// initialization (0: |P|, the paper's choice).
+	MaxUopsPerInst int
+	// MutationRate is the per-instruction probability of re-randomizing
+	// a child's decomposition. The paper's design uses 0; non-zero
+	// values exist for the ablation study.
+	MutationRate float64
+	// LocalSearch enables the final greedy hill-climbing phase.
+	LocalSearch bool
+	// LocalSearchMaxPasses bounds hill-climbing sweeps (0: until no
+	// improvement, at most 32 passes).
+	LocalSearchMaxPasses int
+	// VolumeObjective includes the µop volume V in the fitness. The
+	// paper always uses it; disabling it is an ablation that yields less
+	// compact, harder-to-interpret mappings.
+	VolumeObjective bool
+	// AccuracyWeight scales the normalized accuracy objective relative
+	// to the volume objective (the paper's scalarization weights both
+	// equally; values ≤ 0 mean 1). On very small problems the
+	// equal-weight scalarization can prefer compact-but-wrong mappings;
+	// raising this weight is an extension knob that trades compactness
+	// for accuracy (see the ablation tests).
+	AccuracyWeight float64
+	// Workers is the number of parallel fitness evaluation goroutines
+	// (0: GOMAXPROCS).
+	Workers int
+	// Seed makes runs reproducible.
+	Seed int64
+	// ConvergenceEps terminates evolution when the spread of Davg in the
+	// selected population falls below it and all volumes agree.
+	ConvergenceEps float64
+	// SeedMappings are injected into the initial population (extension:
+	// warm-starting from an existing, possibly outdated port mapping —
+	// the OSACA-style validation/refinement use case of §6). Mappings
+	// must cover the instruction set with the configured port count.
+	SeedMappings []*portmap.Mapping
+}
+
+// DefaultOptions returns a configuration suitable for medium-size
+// inference runs.
+func DefaultOptions(numPorts int) Options {
+	return Options{
+		PopulationSize:  500,
+		MaxGenerations:  60,
+		NumPorts:        numPorts,
+		LocalSearch:     true,
+		VolumeObjective: true,
+		Seed:            1,
+		ConvergenceEps:  1e-9,
+	}
+}
+
+// GenStats records one generation for convergence inspection.
+type GenStats struct {
+	Generation int
+	BestError  float64
+	BestVolume int
+	MeanError  float64
+}
+
+// Result is the outcome of a Run.
+type Result struct {
+	// Best is the fittest mapping found.
+	Best *portmap.Mapping
+	// BestError is Davg(Best) on the input measurements.
+	BestError float64
+	// BestVolume is V(Best).
+	BestVolume int
+	// Generations is the number of evolution steps performed.
+	Generations int
+	// FitnessEvaluations counts Davg computations (the paper's cost
+	// metric for the bottleneck algorithm's speed).
+	FitnessEvaluations int
+	// History records per-generation statistics.
+	History []GenStats
+}
+
+// individual carries a candidate mapping with cached objectives.
+type individual struct {
+	m      *portmap.Mapping
+	davg   float64
+	volume int
+}
+
+// Run executes the evolutionary algorithm on a measured experiment set.
+func Run(set *exp.Set, opts Options) (*Result, error) {
+	if set == nil || set.NumInsts == 0 {
+		return nil, errors.New("evo: empty instruction set")
+	}
+	if len(set.Measurements) == 0 {
+		return nil, errors.New("evo: no measurements")
+	}
+	if opts.PopulationSize < 2 {
+		return nil, errors.New("evo: population size must be at least 2")
+	}
+	if opts.MaxGenerations < 1 {
+		return nil, errors.New("evo: need at least one generation")
+	}
+	if opts.NumPorts <= 0 || opts.NumPorts > portmap.MaxPorts {
+		return nil, fmt.Errorf("evo: invalid port count %d", opts.NumPorts)
+	}
+	for _, m := range set.Measurements {
+		if m.Throughput <= 0 {
+			return nil, fmt.Errorf("evo: non-positive measured throughput %g", m.Throughput)
+		}
+	}
+	if opts.ConvergenceEps <= 0 {
+		opts.ConvergenceEps = 1e-9
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	ev := newEvaluator(set, opts)
+
+	p := opts.PopulationSize
+	pop := make([]individual, 0, 2*p)
+	for _, sm := range opts.SeedMappings {
+		if sm.NumInsts() != set.NumInsts || sm.NumPorts != opts.NumPorts {
+			return nil, fmt.Errorf("evo: seed mapping dimensions %dx%d do not match %dx%d",
+				sm.NumInsts(), sm.NumPorts, set.NumInsts, opts.NumPorts)
+		}
+		if err := sm.Validate(); err != nil {
+			return nil, fmt.Errorf("evo: invalid seed mapping: %w", err)
+		}
+		if len(pop) < p {
+			pop = append(pop, individual{m: sm.Clone()})
+		}
+	}
+	for len(pop) < p {
+		m := portmap.Random(rng, portmap.RandomOptions{
+			NumInsts:       set.NumInsts,
+			NumPorts:       opts.NumPorts,
+			ThroughputHint: set.Individual,
+			MaxUops:        opts.MaxUopsPerInst,
+		})
+		pop = append(pop, individual{m: m})
+	}
+	ev.evaluate(pop)
+
+	res := &Result{}
+	for gen := 0; gen < opts.MaxGenerations; gen++ {
+		res.Generations = gen + 1
+
+		// Evolutionary operators: p children from recombined parents.
+		children := make([]individual, 0, p)
+		for len(children) < p {
+			a := pop[rng.Intn(len(pop))].m
+			b := pop[rng.Intn(len(pop))].m
+			c1, c2 := recombine(rng, a, b, set.Individual)
+			if opts.MutationRate > 0 {
+				mutate(rng, c1, opts, set.Individual)
+				mutate(rng, c2, opts, set.Individual)
+			}
+			children = append(children, individual{m: c1})
+			if len(children) < p {
+				children = append(children, individual{m: c2})
+			}
+		}
+		ev.evaluate(children)
+		pop = append(pop, children...)
+
+		// Selection: scalarize both objectives over the combined
+		// population and keep the best p.
+		selectBest(pop, p, opts.VolumeObjective, opts.AccuracyWeight)
+		pop = pop[:p]
+
+		best := pop[0]
+		res.History = append(res.History, GenStats{
+			Generation: gen,
+			BestError:  best.davg,
+			BestVolume: best.volume,
+			MeanError:  meanError(pop),
+		})
+
+		if converged(pop, opts.ConvergenceEps) {
+			break
+		}
+	}
+
+	best := pop[0]
+	if opts.LocalSearch {
+		best = ev.localSearch(best, opts)
+	}
+	res.Best = best.m
+	res.BestError = best.davg
+	res.BestVolume = best.volume
+	res.FitnessEvaluations = ev.evaluations()
+	return res, nil
+}
+
+func meanError(pop []individual) float64 {
+	s := 0.0
+	for _, ind := range pop {
+		s += ind.davg
+	}
+	return s / float64(len(pop))
+}
+
+// converged reports whether the population has collapsed to a single
+// fitness value (§4.4 termination criterion).
+func converged(pop []individual, eps float64) bool {
+	minD, maxD := pop[0].davg, pop[0].davg
+	minV, maxV := pop[0].volume, pop[0].volume
+	for _, ind := range pop[1:] {
+		minD = math.Min(minD, ind.davg)
+		maxD = math.Max(maxD, ind.davg)
+		if ind.volume < minV {
+			minV = ind.volume
+		}
+		if ind.volume > maxV {
+			maxV = ind.volume
+		}
+	}
+	return maxD-minD < eps && minV == maxV
+}
+
+// selectBest sorts the population by scalarized fitness F(m) =
+// w·Λ1(Davg(m)) + Λ2(V(m)) with both objectives affinely normalized to
+// [0, 1000] over the current population (the paper uses w = 1), then
+// truncates to the best p. Ties break deterministically on
+// (davg, volume).
+func selectBest(pop []individual, p int, volumeObjective bool, accuracyWeight float64) {
+	if accuracyWeight <= 0 {
+		accuracyWeight = 1
+	}
+	minD, maxD := pop[0].davg, pop[0].davg
+	minV, maxV := float64(pop[0].volume), float64(pop[0].volume)
+	for _, ind := range pop[1:] {
+		minD = math.Min(minD, ind.davg)
+		maxD = math.Max(maxD, ind.davg)
+		minV = math.Min(minV, float64(ind.volume))
+		maxV = math.Max(maxV, float64(ind.volume))
+	}
+	norm := func(v, lo, hi float64) float64 {
+		if hi <= lo {
+			return 0
+		}
+		return (v - lo) / (hi - lo) * 1000
+	}
+	fitness := func(ind individual) float64 {
+		f := accuracyWeight * norm(ind.davg, minD, maxD)
+		if volumeObjective {
+			f += norm(float64(ind.volume), minV, maxV)
+		}
+		return f
+	}
+	sort.SliceStable(pop, func(i, j int) bool {
+		fi, fj := fitness(pop[i]), fitness(pop[j])
+		if fi != fj {
+			return fi < fj
+		}
+		if pop[i].davg != pop[j].davg {
+			return pop[i].davg < pop[j].davg
+		}
+		return pop[i].volume < pop[j].volume
+	})
+}
+
+// recombine implements the paper's binary recombination: for each
+// instruction, the µops of both parents (with multiplicities) are
+// divided randomly into two parts that become the children's
+// decompositions. A child that would end up with no µops for an
+// instruction receives one random µop instance from the combined pool.
+func recombine(rng *rand.Rand, a, b *portmap.Mapping, tpHints []float64) (*portmap.Mapping, *portmap.Mapping) {
+	n := a.NumInsts()
+	c1 := portmap.NewMapping(n, a.NumPorts)
+	c2 := portmap.NewMapping(n, a.NumPorts)
+	var pool []portmap.UopCount
+	for i := 0; i < n; i++ {
+		pool = pool[:0]
+		pool = append(pool, a.Decomp[i]...)
+		pool = append(pool, b.Decomp[i]...)
+
+		var d1, d2 []portmap.UopCount
+		for _, uc := range pool {
+			// Binomial split of the multiplicity between the children.
+			k := 0
+			for j := 0; j < uc.Count; j++ {
+				if rng.Intn(2) == 0 {
+					k++
+				}
+			}
+			if k > 0 {
+				d1 = append(d1, portmap.UopCount{Ports: uc.Ports, Count: k})
+			}
+			if uc.Count-k > 0 {
+				d2 = append(d2, portmap.UopCount{Ports: uc.Ports, Count: uc.Count - k})
+			}
+		}
+		if len(d1) == 0 {
+			uc := pool[rng.Intn(len(pool))]
+			d1 = append(d1, portmap.UopCount{Ports: uc.Ports, Count: 1})
+		}
+		if len(d2) == 0 {
+			uc := pool[rng.Intn(len(pool))]
+			d2 = append(d2, portmap.UopCount{Ports: uc.Ports, Count: 1})
+		}
+		c1.SetDecomp(i, d1)
+		c2.SetDecomp(i, d2)
+	}
+	return c1, c2
+}
+
+// mutate re-randomizes each instruction's decomposition with probability
+// opts.MutationRate (ablation only; the paper's design omits mutation).
+func mutate(rng *rand.Rand, m *portmap.Mapping, opts Options, tpHints []float64) {
+	for i := 0; i < m.NumInsts(); i++ {
+		if rng.Float64() >= opts.MutationRate {
+			continue
+		}
+		hint := 1.0
+		if tpHints != nil {
+			hint = tpHints[i]
+		}
+		single := portmap.Random(rng, portmap.RandomOptions{
+			NumInsts:       1,
+			NumPorts:       opts.NumPorts,
+			ThroughputHint: []float64{hint},
+			MaxUops:        opts.MaxUopsPerInst,
+		})
+		m.SetDecomp(i, single.Decomp[0])
+	}
+}
+
+// evaluator computes Davg over the measurement set with a parallel
+// worker pool; each worker owns a throughput.Evaluator so buffers are
+// reused without locking.
+type evaluator struct {
+	set     *exp.Set
+	workers int
+
+	mu    sync.Mutex
+	evals int
+}
+
+func newEvaluator(set *exp.Set, opts Options) *evaluator {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &evaluator{set: set, workers: w}
+}
+
+func (ev *evaluator) evaluations() int {
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	return ev.evals
+}
+
+// davg computes the average relative prediction error of mapping m.
+func (ev *evaluator) davg(te *throughput.Evaluator, m *portmap.Mapping) float64 {
+	sum := 0.0
+	for _, meas := range ev.set.Measurements {
+		pred := te.ThroughputOf(m, meas.Exp)
+		sum += math.Abs(pred-meas.Throughput) / meas.Throughput
+	}
+	return sum / float64(len(ev.set.Measurements))
+}
+
+// evaluate fills in the objectives of all individuals in parallel.
+func (ev *evaluator) evaluate(inds []individual) {
+	var wg sync.WaitGroup
+	chunk := (len(inds) + ev.workers - 1) / ev.workers
+	for w := 0; w < ev.workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(inds) {
+			hi = len(inds)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(part []individual) {
+			defer wg.Done()
+			var te throughput.Evaluator
+			for i := range part {
+				part[i].davg = ev.davg(&te, part[i].m)
+				part[i].volume = part[i].m.Volume()
+			}
+		}(inds[lo:hi])
+	}
+	wg.Wait()
+	ev.mu.Lock()
+	ev.evals += len(inds)
+	ev.mu.Unlock()
+}
+
+// localSearch greedily adjusts µop multiplicities (§4.4: "incrementally
+// adjusts the number n of µop occurrences for each edge (i,n,u) ∈ N and
+// keeps the changes to the port mapping if it is fitter than before").
+// An adjustment is kept if it reduces Davg, or keeps Davg (within 1e-12)
+// while reducing the volume.
+func (ev *evaluator) localSearch(start individual, opts Options) individual {
+	var te throughput.Evaluator
+	cur := start
+	cur.m = start.m.Clone()
+
+	better := func(d2 float64, v2 int, d1 float64, v1 int) bool {
+		if d2 < d1-1e-12 {
+			return true
+		}
+		return d2 <= d1+1e-12 && v2 < v1
+	}
+
+	maxPasses := opts.LocalSearchMaxPasses
+	if maxPasses <= 0 {
+		maxPasses = 32
+	}
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		for i := 0; i < cur.m.NumInsts(); i++ {
+			for j := 0; j < len(cur.m.Decomp[i]); j++ {
+				orig := cur.m.Decomp[i][j].Count
+				for _, delta := range []int{1, -1} {
+					next := orig + delta
+					if next < 0 {
+						continue
+					}
+					if next == 0 && len(cur.m.Decomp[i]) == 1 {
+						continue // every instruction needs at least one µop
+					}
+					trial := cur.m.Clone()
+					if next == 0 {
+						trial.SetDecomp(i, append(append([]portmap.UopCount(nil),
+							trial.Decomp[i][:j]...), trial.Decomp[i][j+1:]...))
+					} else {
+						trial.Decomp[i][j].Count = next
+					}
+					d := ev.davg(&te, trial)
+					v := trial.Volume()
+					ev.mu.Lock()
+					ev.evals++
+					ev.mu.Unlock()
+					if better(d, v, cur.davg, cur.volume) {
+						cur = individual{m: trial, davg: d, volume: v}
+						improved = true
+						break // re-inspect the modified decomposition
+					}
+				}
+				if j >= len(cur.m.Decomp[i]) {
+					break
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return cur
+}

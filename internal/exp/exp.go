@@ -1,0 +1,199 @@
+// Package exp generates the experiment sets of paper §4.1 and couples
+// experiments with measured throughputs.
+//
+// The generated set contains, for instruction forms i over the ISA under
+// test:
+//
+//  1. a singleton {i→1} per form, measuring the individual throughput
+//     t*(i);
+//  2. a pair {iA→1, iB→1} per unordered pair of forms;
+//  3. a weighted pair {iA→1, iB→n} with n = ⌈t*(iA)/t*(iB)⌉ per ordered
+//     pair with t*(iA) > t*(iB).
+//
+// Pairs expose conflicting resource requirements; weighted pairs balance
+// the mass of a slow instruction against several fast ones so partial
+// conflicts become visible in the steady-state throughput.
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"pmevo/internal/portmap"
+)
+
+// Measurement couples an experiment with its measured throughput.
+type Measurement struct {
+	Exp        portmap.Experiment
+	Throughput float64
+}
+
+// Measurer produces a throughput for an experiment. It is implemented by
+// measure.Harness (simulated hardware) and could be implemented by a
+// driver for real hardware.
+type Measurer interface {
+	Measure(e portmap.Experiment) (float64, error)
+}
+
+// Set is a measured experiment set for an ISA with numInsts instructions.
+type Set struct {
+	NumInsts int
+	// Individual[i] is the measured individual throughput t*(i).
+	Individual []float64
+	// Measurements contains all measured experiments, including the
+	// singletons.
+	Measurements []Measurement
+}
+
+// Singletons returns the singleton experiments {i→1} in instruction
+// order.
+func Singletons(numInsts int) []portmap.Experiment {
+	out := make([]portmap.Experiment, numInsts)
+	for i := range out {
+		out[i] = portmap.Experiment{{Inst: i, Count: 1}}
+	}
+	return out
+}
+
+// PairExperiments returns the §4.1 pair and weighted-pair experiments
+// for the given individual throughputs, deduplicated by multiset.
+func PairExperiments(individual []float64) []portmap.Experiment {
+	n := len(individual)
+	var out []portmap.Experiment
+	seen := make(map[string]bool)
+	add := func(e portmap.Experiment) {
+		e = e.Normalize()
+		k := e.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, e)
+		}
+	}
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			add(portmap.Experiment{{Inst: a, Count: 1}, {Inst: b, Count: 1}})
+			// Weighted pair: slower instruction once, faster one often
+			// enough to balance the masses.
+			tA, tB := individual[a], individual[b]
+			if tA > tB && tB > 0 {
+				k := int(math.Ceil(tA / tB))
+				add(portmap.Experiment{{Inst: a, Count: 1}, {Inst: b, Count: k}})
+			} else if tB > tA && tA > 0 {
+				k := int(math.Ceil(tB / tA))
+				add(portmap.Experiment{{Inst: b, Count: 1}, {Inst: a, Count: k}})
+			}
+		}
+	}
+	return out
+}
+
+// GenerateAndMeasure runs the full §4.1 protocol: measure singletons,
+// derive pair and weighted-pair experiments from the individual
+// throughputs, and measure those too.
+func GenerateAndMeasure(m Measurer, numInsts int) (*Set, error) {
+	if numInsts <= 0 {
+		return nil, fmt.Errorf("exp: no instructions")
+	}
+	set := &Set{
+		NumInsts:   numInsts,
+		Individual: make([]float64, numInsts),
+	}
+	for i, e := range Singletons(numInsts) {
+		tp, err := m.Measure(e)
+		if err != nil {
+			return nil, fmt.Errorf("exp: singleton %d: %w", i, err)
+		}
+		if tp <= 0 {
+			return nil, fmt.Errorf("exp: singleton %d: non-positive throughput %g", i, tp)
+		}
+		set.Individual[i] = tp
+		set.Measurements = append(set.Measurements, Measurement{Exp: e, Throughput: tp})
+	}
+	for _, e := range PairExperiments(set.Individual) {
+		tp, err := m.Measure(e)
+		if err != nil {
+			return nil, fmt.Errorf("exp: pair %v: %w", e, err)
+		}
+		set.Measurements = append(set.Measurements, Measurement{Exp: e, Throughput: tp})
+	}
+	return set, nil
+}
+
+// NumExperiments returns the number of measured experiments in the set.
+func (s *Set) NumExperiments() int { return len(s.Measurements) }
+
+// PairThroughputs indexes the set's two-instruction measurements:
+// the returned map's key identifies (a, countA, b, countB) with a < b.
+type PairKey struct {
+	A, CountA int
+	B, CountB int
+}
+
+// PairThroughputs returns all measurements that involve exactly two
+// distinct instructions, keyed by their shape. Congruence filtering uses
+// this index.
+func (s *Set) PairThroughputs() map[PairKey]float64 {
+	out := make(map[PairKey]float64)
+	for _, m := range s.Measurements {
+		e := m.Exp.Normalize()
+		if len(e) != 2 {
+			continue
+		}
+		out[PairKey{A: e[0].Inst, CountA: e[0].Count, B: e[1].Inst, CountB: e[1].Count}] = m.Throughput
+	}
+	return out
+}
+
+// Project maps a measurement set onto a reduced instruction space:
+// keep[i] gives the new index of old instruction i, or -1 to drop
+// experiments mentioning it. Congruence filtering uses Project to
+// restrict the evolutionary algorithm's inputs to class representatives
+// (§4.3: "only needs to consider experiments that consist of these
+// representatives").
+func (s *Set) Project(keep []int, newCount int) *Set {
+	out := &Set{
+		NumInsts:   newCount,
+		Individual: make([]float64, newCount),
+	}
+	for old, nw := range keep {
+		if nw >= 0 {
+			out.Individual[nw] = s.Individual[old]
+		}
+	}
+	for _, m := range s.Measurements {
+		var proj portmap.Experiment
+		ok := true
+		for _, t := range m.Exp {
+			nw := keep[t.Inst]
+			if nw < 0 {
+				ok = false
+				break
+			}
+			proj = append(proj, portmap.InstCount{Inst: nw, Count: t.Count})
+		}
+		if ok {
+			out.Measurements = append(out.Measurements, Measurement{
+				Exp:        proj.Normalize(),
+				Throughput: m.Throughput,
+			})
+		}
+	}
+	return out
+}
+
+// RandomBenchmarkSet samples `size` experiments, each a uniformly random
+// multiset of `length` instructions, reproducing the §5.3 benchmark sets
+// ("sampled uniformly at random from the set of all instruction
+// multi-sets of size 5"). Sampling uses the provided deterministic
+// source.
+func RandomBenchmarkSet(rng interface{ Intn(int) int }, numInsts, size, length int) []portmap.Experiment {
+	out := make([]portmap.Experiment, size)
+	for i := range out {
+		var e portmap.Experiment
+		for j := 0; j < length; j++ {
+			e = append(e, portmap.InstCount{Inst: rng.Intn(numInsts), Count: 1})
+		}
+		out[i] = e.Normalize()
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package exp
+
+import (
+	"math/rand"
+	"testing"
+
+	"pmevo/internal/portmap"
+)
+
+func TestTripleExperimentsBasic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ind := []float64{1, 1, 1, 1, 1}
+	es := TripleExperiments(rng, ind, 10, false)
+	if len(es) != 10 {
+		t.Fatalf("got %d experiments, want 10", len(es))
+	}
+	seen := make(map[string]bool)
+	for _, e := range es {
+		if len(e) != 3 {
+			t.Errorf("experiment %v does not combine 3 distinct forms", e)
+		}
+		if e.TotalCount() != 3 {
+			t.Errorf("unbalanced triple %v should have 3 instances", e)
+		}
+		if seen[e.Key()] {
+			t.Errorf("duplicate experiment %v", e)
+		}
+		seen[e.Key()] = true
+	}
+}
+
+func TestTripleExperimentsBalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// Form 0 is 4x slower: balanced triples must repeat the fast forms.
+	ind := []float64{4, 1, 1, 1}
+	es := TripleExperiments(rng, ind, 5, true)
+	for _, e := range es {
+		counts := make(map[int]int)
+		for _, term := range e {
+			counts[term.Inst] = term.Count
+		}
+		if c, ok := counts[0]; ok {
+			if c != 1 {
+				t.Errorf("slow form repeated %d times in %v", c, e)
+			}
+			for inst, c := range counts {
+				if inst != 0 && c != 4 {
+					t.Errorf("fast form %d has count %d in %v, want 4", inst, c, e)
+				}
+			}
+		}
+	}
+}
+
+func TestTripleExperimentsDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	if es := TripleExperiments(rng, []float64{1, 1}, 5, false); es != nil {
+		t.Errorf("2-instruction ISA produced triples: %v", es)
+	}
+	if es := TripleExperiments(rng, []float64{1, 1, 1}, 0, false); es != nil {
+		t.Errorf("n=0 produced triples: %v", es)
+	}
+	// A 3-instruction ISA has exactly one unbalanced triple.
+	es := TripleExperiments(rng, []float64{1, 1, 1}, 10, false)
+	if len(es) != 1 {
+		t.Errorf("3-instruction ISA yielded %d distinct triples, want 1", len(es))
+	}
+}
+
+func TestExtendWithTriples(t *testing.T) {
+	mm := &modelMeasurer{m: testMapping()}
+	set, err := GenerateAndMeasure(mm, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := set.NumExperiments()
+	rng := rand.New(rand.NewSource(7))
+	n, err := set.ExtendWithTriples(mm, rng, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 { // only one distinct triple over 3 forms
+		t.Errorf("added %d triples, want 1", n)
+	}
+	if set.NumExperiments() != before+n {
+		t.Errorf("set grew by %d, want %d", set.NumExperiments()-before, n)
+	}
+	// The appended measurement must be model-consistent.
+	last := set.Measurements[len(set.Measurements)-1]
+	if last.Throughput <= 0 {
+		t.Errorf("triple measured %g", last.Throughput)
+	}
+}
+
+func TestExtendWithTriplesPropagatesErrors(t *testing.T) {
+	mm := &modelMeasurer{m: testMapping()}
+	set, err := GenerateAndMeasure(mm, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	if _, err := set.ExtendWithTriples(&failingMeasurer{}, rng, 3, false); err == nil {
+		t.Error("measurement failure not propagated")
+	}
+	_ = portmap.Experiment{}
+}

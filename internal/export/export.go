@@ -1,0 +1,201 @@
+// Package export renders inferred port mappings in the formats of
+// downstream performance tools. The paper motivates this integration
+// path explicitly (§6.2): "Both, llvm-mca and OSACA, can benefit from
+// port mappings by PMEvo for microarchitectures without available port
+// mapping."
+//
+// Two writers are provided:
+//
+//   - LLVMSchedModel emits a TableGen-like scheduling-model fragment in
+//     the style of LLVM's per-target *SchedModel*.td files: one
+//     ProcResource per port, WriteRes entries per instruction with
+//     resource cycles derived from the µop decomposition.
+//   - OSACAModel emits a YAML fragment in the style of OSACA's machine
+//     files: port list plus per-instruction port pressure, where a µop
+//     executable on k ports contributes 1/k pressure to each.
+package export
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"pmevo/internal/portmap"
+)
+
+// sanitizeIdent turns an instruction or processor name into a TableGen-
+// compatible identifier.
+func sanitizeIdent(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// portName returns the exported name of port k.
+func portName(m *portmap.Mapping, k int) string {
+	if m.PortNames != nil && k < len(m.PortNames) {
+		return sanitizeIdent(m.PortNames[k])
+	}
+	return fmt.Sprintf("P%d", k)
+}
+
+func instName(m *portmap.Mapping, i int) string {
+	if m.InstNames != nil && i < len(m.InstNames) {
+		return m.InstNames[i]
+	}
+	return fmt.Sprintf("I%d", i)
+}
+
+// LLVMSchedModel writes the mapping as a TableGen-like scheduling model
+// fragment. Each distinct µop (port set) becomes a ProcResGroup over
+// the per-port ProcResources; each instruction gets a WriteRes listing
+// its µops' resource groups with their multiplicities as resource
+// cycles.
+func LLVMSchedModel(w io.Writer, m *portmap.Mapping, procName string) error {
+	if err := m.Validate(); err != nil {
+		return fmt.Errorf("export: %w", err)
+	}
+	proc := sanitizeIdent(procName)
+	var b strings.Builder
+	fmt.Fprintf(&b, "// Scheduling model for %s, inferred by PMEvo.\n", procName)
+	fmt.Fprintf(&b, "// Generated file: resource cycles derive from the inferred port mapping.\n\n")
+	fmt.Fprintf(&b, "def %sModel : SchedMachineModel {\n", proc)
+	fmt.Fprintf(&b, "  let IssueWidth = %d;\n", m.NumPorts)
+	b.WriteString("  let CompleteModel = 0;\n}\n\n")
+
+	for k := 0; k < m.NumPorts; k++ {
+		fmt.Fprintf(&b, "def %s%s : ProcResource<1>;\n", proc, portName(m, k))
+	}
+	b.WriteByte('\n')
+
+	// One ProcResGroup per distinct multi-port µop.
+	groups := m.DistinctUops()
+	groupName := make(map[portmap.PortSet]string, len(groups))
+	for _, u := range groups {
+		if u.Count() == 1 {
+			groupName[u] = proc + portName(m, u.Min())
+			continue
+		}
+		parts := make([]string, 0, u.Count())
+		refs := make([]string, 0, u.Count())
+		for _, k := range u.Ports() {
+			parts = append(parts, portName(m, k))
+			refs = append(refs, proc+portName(m, k))
+		}
+		name := proc + strings.Join(parts, "")
+		groupName[u] = name
+		fmt.Fprintf(&b, "def %s : ProcResGroup<[%s]>;\n", name, strings.Join(refs, ", "))
+	}
+	b.WriteByte('\n')
+
+	for i := 0; i < m.NumInsts(); i++ {
+		uops := m.Decomp[i]
+		resources := make([]string, len(uops))
+		cycles := make([]string, len(uops))
+		totalUops := 0
+		for j, uc := range uops {
+			resources[j] = groupName[uc.Ports]
+			cycles[j] = fmt.Sprintf("%d", uc.Count)
+			totalUops += uc.Count
+		}
+		fmt.Fprintf(&b, "def : WriteRes<Write_%s, [%s]> { let ResourceCycles = [%s]; let NumMicroOps = %d; }\n",
+			sanitizeIdent(instName(m, i)), strings.Join(resources, ", "),
+			strings.Join(cycles, ", "), totalUops)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// OSACAModel writes the mapping as an OSACA-style YAML machine-file
+// fragment: the port list, then per-instruction port pressure where
+// each µop distributes its count uniformly over its ports (the uniform
+// distribution is OSACA's convention for throughput analysis).
+func OSACAModel(w io.Writer, m *portmap.Mapping, procName string) error {
+	if err := m.Validate(); err != nil {
+		return fmt.Errorf("export: %w", err)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# OSACA machine model for %s, inferred by PMEvo.\n", procName)
+	fmt.Fprintf(&b, "model_name: %s\n", procName)
+	b.WriteString("ports: [")
+	for k := 0; k < m.NumPorts; k++ {
+		if k > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(portName(m, k))
+	}
+	b.WriteString("]\n")
+	b.WriteString("instruction_forms:\n")
+	for i := 0; i < m.NumInsts(); i++ {
+		fmt.Fprintf(&b, "  - name: %s\n", instName(m, i))
+		pressure := make([]float64, m.NumPorts)
+		uopCount := 0
+		for _, uc := range m.Decomp[i] {
+			share := float64(uc.Count) / float64(uc.Ports.Count())
+			for _, k := range uc.Ports.Ports() {
+				pressure[k] += share
+			}
+			uopCount += uc.Count
+		}
+		fmt.Fprintf(&b, "    uops: %d\n", uopCount)
+		b.WriteString("    port_pressure: {")
+		first := true
+		for k, p := range pressure {
+			if p == 0 {
+				continue
+			}
+			if !first {
+				b.WriteString(", ")
+			}
+			first = false
+			fmt.Fprintf(&b, "%s: %.3f", portName(m, k), p)
+		}
+		b.WriteString("}\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Summary renders a compact overview of a mapping: dimensions, volume,
+// and the distinct µop vocabulary sorted by usage, for inclusion in
+// reports.
+func Summary(m *portmap.Mapping) string {
+	usage := make(map[portmap.PortSet]int)
+	for _, uops := range m.Decomp {
+		for _, uc := range uops {
+			usage[uc.Ports] += uc.Count
+		}
+	}
+	type entry struct {
+		ports portmap.PortSet
+		count int
+	}
+	entries := make([]entry, 0, len(usage))
+	for p, c := range usage {
+		entries = append(entries, entry{p, c})
+	}
+	sort.Slice(entries, func(a, b int) bool {
+		if entries[a].count != entries[b].count {
+			return entries[a].count > entries[b].count
+		}
+		return entries[a].ports < entries[b].ports
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d instructions, %d ports, volume %d, %d distinct µops\n",
+		m.NumInsts(), m.NumPorts, m.Volume(), len(entries))
+	for _, e := range entries {
+		fmt.Fprintf(&b, "  %-12s ×%d\n", e.ports.CompactName(), e.count)
+	}
+	return b.String()
+}

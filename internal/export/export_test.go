@@ -1,0 +1,134 @@
+package export
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pmevo/internal/portmap"
+	"pmevo/internal/uarch"
+)
+
+func exampleMapping() *portmap.Mapping {
+	m := portmap.NewMapping(3, 3)
+	m.InstNames = []string{"add_r64_r64", "mul r64, r64", "store"}
+	m.PortNames = []string{"P0", "P1", "P2"}
+	m.SetDecomp(0, []portmap.UopCount{{Ports: portmap.MakePortSet(0, 1), Count: 1}})
+	m.SetDecomp(1, []portmap.UopCount{{Ports: portmap.MakePortSet(1), Count: 2}})
+	m.SetDecomp(2, []portmap.UopCount{
+		{Ports: portmap.MakePortSet(0, 1), Count: 1},
+		{Ports: portmap.MakePortSet(2), Count: 1},
+	})
+	return m
+}
+
+func TestLLVMSchedModel(t *testing.T) {
+	var buf bytes.Buffer
+	if err := LLVMSchedModel(&buf, exampleMapping(), "VirtCore"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"def VirtCoreModel : SchedMachineModel",
+		"def VirtCoreP0 : ProcResource<1>;",
+		"def VirtCoreP2 : ProcResource<1>;",
+		"def VirtCoreP0P1 : ProcResGroup<[VirtCoreP0, VirtCoreP1]>;",
+		"WriteRes<Write_add_r64_r64, [VirtCoreP0P1]> { let ResourceCycles = [1]; let NumMicroOps = 1; }",
+		"WriteRes<Write_mul_r64__r64, [VirtCoreP1]> { let ResourceCycles = [2]; let NumMicroOps = 2; }",
+		"NumMicroOps = 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("LLVM model missing %q:\n%s", want, out)
+		}
+	}
+	// The two-µop store references both resources.
+	if !strings.Contains(out, "[VirtCoreP0P1, VirtCoreP2]") {
+		t.Errorf("store WriteRes wrong:\n%s", out)
+	}
+}
+
+func TestLLVMSchedModelRejectsInvalid(t *testing.T) {
+	bad := portmap.NewMapping(1, 2) // empty decomposition
+	var buf bytes.Buffer
+	if err := LLVMSchedModel(&buf, bad, "X"); err == nil {
+		t.Error("invalid mapping accepted")
+	}
+	if err := OSACAModel(&buf, bad, "X"); err == nil {
+		t.Error("invalid mapping accepted by OSACA writer")
+	}
+}
+
+func TestOSACAModel(t *testing.T) {
+	var buf bytes.Buffer
+	if err := OSACAModel(&buf, exampleMapping(), "VirtCore"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"model_name: VirtCore",
+		"ports: [P0, P1, P2]",
+		"- name: add_r64_r64",
+		"port_pressure: {P0: 0.500, P1: 0.500}",
+		"port_pressure: {P1: 2.000}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("OSACA model missing %q:\n%s", want, out)
+		}
+	}
+	// Store: 1×p01 + 1×p2 → P0 .5, P1 .5, P2 1.
+	if !strings.Contains(out, "{P0: 0.500, P1: 0.500, P2: 1.000}") {
+		t.Errorf("store pressure wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "uops: 2") {
+		t.Errorf("uops count missing:\n%s", out)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	out := Summary(exampleMapping())
+	if !strings.Contains(out, "3 instructions, 3 ports, volume 7, 3 distinct µops") {
+		t.Errorf("summary header wrong:\n%s", out)
+	}
+	// p01 used 2 times total (add + store), p1 twice (mul), p2 once.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("summary has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "×2") {
+		t.Errorf("most-used µop line = %q", lines[1])
+	}
+}
+
+func TestExportGroundTruthSKL(t *testing.T) {
+	// The full SKL ground truth must export without error and mention
+	// the DIV pseudo-port.
+	proc := uarch.SKL()
+	var buf bytes.Buffer
+	if err := LLVMSchedModel(&buf, proc.GroundTruth, "SKLVirt"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "SKLVirtDIV") {
+		t.Error("DIV port missing from LLVM export")
+	}
+	buf.Reset()
+	if err := OSACAModel(&buf, proc.GroundTruth, "SKLVirt"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "DIV") {
+		t.Error("DIV port missing from OSACA export")
+	}
+}
+
+func TestSanitizeIdent(t *testing.T) {
+	tests := map[string]string{
+		"add r64, r64": "add_r64__r64",
+		"Cortex-A72":   "Cortex_A72",
+		"":             "_",
+		"ok_name1":     "ok_name1",
+	}
+	for in, want := range tests {
+		if got := sanitizeIdent(in); got != want {
+			t.Errorf("sanitizeIdent(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package isa
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadText checks that the ISA text parser never panics and that
+// anything it accepts survives a write/read round trip.
+func FuzzReadText(f *testing.F) {
+	var buf bytes.Buffer
+	if err := SyntheticX86().WriteText(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String()[:200])
+	f.Add("isa mini\nform add class=alu ops=rw:reg:gpr:64,r:reg:gpr:64\n")
+	f.Add("form before header\n")
+	f.Add("isa a\nisa b\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		a, err := ReadText(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := a.WriteText(&out); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		b, err := ReadText(&out)
+		if err != nil {
+			t.Fatalf("round trip unparseable: %v", err)
+		}
+		if b.NumForms() != a.NumForms() || b.Name != a.Name {
+			t.Fatalf("round trip changed ISA: %d/%q vs %d/%q",
+				b.NumForms(), b.Name, a.NumForms(), a.Name)
+		}
+	})
+}

@@ -1,0 +1,281 @@
+// Package isa describes instruction set architectures at the level of
+// detail PMEvo needs: instruction forms with typed operand placeholders.
+//
+// An instruction form is an instruction mnemonic together with the kinds
+// and widths of its operands (paper §4.1). Two forms with the same
+// mnemonic but different operand types (say, "add r64, r64" and
+// "add r64, m64") are distinct forms because they may decompose into
+// different µops. The inference algorithm treats forms as opaque atoms;
+// the measurement harness uses the operand descriptions to instantiate
+// concrete, dependency-free instruction sequences.
+package isa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// OperandKind classifies an operand placeholder.
+type OperandKind int
+
+const (
+	// KindReg is a register operand drawn from a RegClass.
+	KindReg OperandKind = iota
+	// KindMem is a memory operand (base register + constant offset).
+	KindMem
+	// KindImm is an immediate constant operand.
+	KindImm
+)
+
+// String returns a short human-readable name for the operand kind.
+func (k OperandKind) String() string {
+	switch k {
+	case KindReg:
+		return "reg"
+	case KindMem:
+		return "mem"
+	case KindImm:
+		return "imm"
+	default:
+		return fmt.Sprintf("OperandKind(%d)", int(k))
+	}
+}
+
+// RegClass identifies a register file from which a register operand is
+// allocated. The measurement harness assigns concrete registers per class.
+type RegClass int
+
+const (
+	// ClassNone is used for operands that are not registers.
+	ClassNone RegClass = iota
+	// ClassGPR is the general purpose (integer) register class.
+	ClassGPR
+	// ClassVec is the SIMD/vector register class.
+	ClassVec
+	// ClassFPR is a scalar floating point register class (used by the
+	// ARM-like ISA, where FP and vector registers alias).
+	ClassFPR
+)
+
+// String returns a short human-readable name for the register class.
+func (c RegClass) String() string {
+	switch c {
+	case ClassNone:
+		return "none"
+	case ClassGPR:
+		return "gpr"
+	case ClassVec:
+		return "vec"
+	case ClassFPR:
+		return "fpr"
+	default:
+		return fmt.Sprintf("RegClass(%d)", int(c))
+	}
+}
+
+// Operand is a typed placeholder in an instruction form.
+type Operand struct {
+	Kind  OperandKind
+	Class RegClass // register class for KindReg; base-pointer class for KindMem
+	Width int      // operand width in bits (8, 16, 32, 64, 128, 256)
+	Read  bool     // operand value is read by the instruction
+	Write bool     // operand value is written by the instruction
+}
+
+// String renders the operand like "r64", "m64", "i32", with RW flags
+// implied by position (destination operands are conventionally first).
+func (o Operand) String() string {
+	switch o.Kind {
+	case KindReg:
+		switch o.Class {
+		case ClassVec:
+			return fmt.Sprintf("v%d", o.Width)
+		case ClassFPR:
+			return fmt.Sprintf("f%d", o.Width)
+		default:
+			return fmt.Sprintf("r%d", o.Width)
+		}
+	case KindMem:
+		return fmt.Sprintf("m%d", o.Width)
+	case KindImm:
+		return fmt.Sprintf("i%d", o.Width)
+	default:
+		return "?"
+	}
+}
+
+// Form is a single instruction form: a mnemonic plus typed operand
+// placeholders. Forms are the atoms of PMEvo's search: experiments are
+// multisets of forms, and the inferred port mapping assigns a µop
+// decomposition to every form.
+type Form struct {
+	// ID is the dense index of the form within its ISA (0-based).
+	ID int
+	// Mnemonic is the assembly mnemonic, e.g. "add".
+	Mnemonic string
+	// Operands are the typed placeholders, destination(s) first.
+	Operands []Operand
+	// Class is a coarse semantic class ("alu", "mul", "load", ...) used
+	// by the ground-truth micro-architectures to assign decompositions
+	// and latencies. The inference algorithm never reads it.
+	Class string
+}
+
+// Name returns the canonical unique name of the form, e.g.
+// "add_r64_r64" or "vmulps_v256_v256_v256".
+func (f *Form) Name() string {
+	if len(f.Operands) == 0 {
+		return f.Mnemonic
+	}
+	parts := make([]string, 0, len(f.Operands)+1)
+	parts = append(parts, f.Mnemonic)
+	for _, op := range f.Operands {
+		parts = append(parts, op.String())
+	}
+	return strings.Join(parts, "_")
+}
+
+// Syntax renders the form in assembly-like syntax, e.g. "add r64, m64".
+func (f *Form) Syntax() string {
+	if len(f.Operands) == 0 {
+		return f.Mnemonic
+	}
+	ops := make([]string, len(f.Operands))
+	for i, op := range f.Operands {
+		ops[i] = op.String()
+	}
+	return f.Mnemonic + " " + strings.Join(ops, ", ")
+}
+
+// NumReads reports the number of operands read by the form.
+func (f *Form) NumReads() int {
+	n := 0
+	for _, op := range f.Operands {
+		if op.Read {
+			n++
+		}
+	}
+	return n
+}
+
+// NumWrites reports the number of operands written by the form.
+func (f *Form) NumWrites() int {
+	n := 0
+	for _, op := range f.Operands {
+		if op.Write {
+			n++
+		}
+	}
+	return n
+}
+
+// HasMemoryOperand reports whether any operand is a memory operand.
+func (f *Form) HasMemoryOperand() bool {
+	for _, op := range f.Operands {
+		if op.Kind == KindMem {
+			return true
+		}
+	}
+	return false
+}
+
+// ISA is a set of instruction forms under test.
+type ISA struct {
+	// Name identifies the ISA, e.g. "x86-64" or "ARMv8-A".
+	Name string
+
+	forms  []*Form
+	byName map[string]*Form
+}
+
+// New creates an empty ISA with the given name.
+func New(name string) *ISA {
+	return &ISA{
+		Name:   name,
+		byName: make(map[string]*Form),
+	}
+}
+
+// AddForm appends a form to the ISA, assigning its ID. It returns the
+// stored form. Adding two forms with identical canonical names is an
+// error because experiments identify forms by name in serialized files.
+func (a *ISA) AddForm(f Form) (*Form, error) {
+	stored := f
+	stored.ID = len(a.forms)
+	name := stored.Name()
+	if _, dup := a.byName[name]; dup {
+		return nil, fmt.Errorf("isa: duplicate instruction form %q", name)
+	}
+	p := &stored
+	a.forms = append(a.forms, p)
+	a.byName[name] = p
+	return p, nil
+}
+
+// MustAddForm is AddForm but panics on duplicates. It is intended for
+// the static ISA table builders where duplicates are programming errors.
+func (a *ISA) MustAddForm(f Form) *Form {
+	p, err := a.AddForm(f)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// NumForms returns the number of instruction forms in the ISA.
+func (a *ISA) NumForms() int { return len(a.forms) }
+
+// Form returns the form with the given dense ID.
+func (a *ISA) Form(id int) *Form { return a.forms[id] }
+
+// Forms returns all forms in ID order. The returned slice must not be
+// modified.
+func (a *ISA) Forms() []*Form { return a.forms }
+
+// FormByName looks up a form by its canonical name.
+func (a *ISA) FormByName(name string) (*Form, bool) {
+	f, ok := a.byName[name]
+	return f, ok
+}
+
+// Classes returns the sorted list of distinct semantic classes in the ISA.
+func (a *ISA) Classes() []string {
+	seen := make(map[string]bool)
+	for _, f := range a.forms {
+		seen[f.Class] = true
+	}
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FormsInClass returns all forms of the given semantic class, in ID order.
+func (a *ISA) FormsInClass(class string) []*Form {
+	var out []*Form
+	for _, f := range a.forms {
+		if f.Class == class {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Subset builds a new ISA containing only the given forms (in the given
+// order, re-numbered densely). The new ISA shares no state with the
+// original. Subset is used by tests and by congruence filtering when the
+// evolutionary algorithm should only see class representatives.
+func (a *ISA) Subset(name string, forms []*Form) (*ISA, error) {
+	sub := New(name)
+	for _, f := range forms {
+		cp := *f
+		cp.Operands = append([]Operand(nil), f.Operands...)
+		if _, err := sub.AddForm(cp); err != nil {
+			return nil, err
+		}
+	}
+	return sub, nil
+}

@@ -1,0 +1,282 @@
+package isa
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAddFormAssignsIDs(t *testing.T) {
+	a := New("test")
+	f1 := a.MustAddForm(Form{Mnemonic: "add", Operands: []Operand{dstsrc(ClassGPR, 64), reg(ClassGPR, 64)}, Class: "alu"})
+	f2 := a.MustAddForm(Form{Mnemonic: "mul", Operands: []Operand{dstsrc(ClassGPR, 64), reg(ClassGPR, 64)}, Class: "mul"})
+	if f1.ID != 0 || f2.ID != 1 {
+		t.Errorf("IDs = %d, %d; want 0, 1", f1.ID, f2.ID)
+	}
+	if a.NumForms() != 2 {
+		t.Errorf("NumForms = %d, want 2", a.NumForms())
+	}
+	if a.Form(0) != f1 || a.Form(1) != f2 {
+		t.Error("Form(id) does not return the stored forms")
+	}
+}
+
+func TestAddFormRejectsDuplicates(t *testing.T) {
+	a := New("test")
+	f := Form{Mnemonic: "add", Operands: []Operand{dstsrc(ClassGPR, 64), reg(ClassGPR, 64)}}
+	if _, err := a.AddForm(f); err != nil {
+		t.Fatalf("first AddForm: %v", err)
+	}
+	if _, err := a.AddForm(f); err == nil {
+		t.Error("duplicate AddForm succeeded, want error")
+	}
+}
+
+func TestFormName(t *testing.T) {
+	tests := []struct {
+		form Form
+		want string
+	}{
+		{Form{Mnemonic: "add", Operands: []Operand{dstsrc(ClassGPR, 64), reg(ClassGPR, 64)}}, "add_r64_r64"},
+		{Form{Mnemonic: "mov", Operands: []Operand{dst(ClassGPR, 32), imm(32)}}, "mov_r32_i32"},
+		{Form{Mnemonic: "vaddps", Operands: []Operand{dst(ClassVec, 256), reg(ClassVec, 256), reg(ClassVec, 256)}}, "vaddps_v256_v256_v256"},
+		{Form{Mnemonic: "ldr", Operands: []Operand{dst(ClassGPR, 64), mem(64)}}, "ldr_r64_m64"},
+		{Form{Mnemonic: "fadd", Operands: []Operand{dst(ClassFPR, 64), reg(ClassFPR, 64), reg(ClassFPR, 64)}}, "fadd_f64_f64_f64"},
+		{Form{Mnemonic: "nop"}, "nop"},
+	}
+	for _, tc := range tests {
+		if got := tc.form.Name(); got != tc.want {
+			t.Errorf("Name() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestFormSyntax(t *testing.T) {
+	f := Form{Mnemonic: "add", Operands: []Operand{dstsrc(ClassGPR, 64), mem(64)}}
+	if got, want := f.Syntax(), "add r64, m64"; got != want {
+		t.Errorf("Syntax() = %q, want %q", got, want)
+	}
+}
+
+func TestFormByName(t *testing.T) {
+	a := SyntheticX86()
+	f, ok := a.FormByName("add_r64_r64")
+	if !ok {
+		t.Fatal("add_r64_r64 not found in synthetic x86 ISA")
+	}
+	if f.Mnemonic != "add" || f.Class != "alu" {
+		t.Errorf("found form %q class %q, want add/alu", f.Mnemonic, f.Class)
+	}
+	if _, ok := a.FormByName("no_such_form"); ok {
+		t.Error("lookup of missing form succeeded")
+	}
+}
+
+func TestFormReadWriteCounts(t *testing.T) {
+	f := Form{Mnemonic: "add", Operands: []Operand{dstsrc(ClassGPR, 64), reg(ClassGPR, 64)}}
+	if f.NumReads() != 2 {
+		t.Errorf("NumReads = %d, want 2", f.NumReads())
+	}
+	if f.NumWrites() != 1 {
+		t.Errorf("NumWrites = %d, want 1", f.NumWrites())
+	}
+	g := Form{Mnemonic: "mov", Operands: []Operand{memdst(64), reg(ClassGPR, 64)}}
+	if !g.HasMemoryOperand() {
+		t.Error("HasMemoryOperand = false for store")
+	}
+	if f.HasMemoryOperand() {
+		t.Error("HasMemoryOperand = true for reg-reg op")
+	}
+}
+
+func TestSyntheticX86Size(t *testing.T) {
+	a := SyntheticX86()
+	if a.NumForms() != 310 {
+		t.Fatalf("SyntheticX86 has %d forms, want 310 (paper §5.1.2)", a.NumForms())
+	}
+	if a.Name != "x86-64" {
+		t.Errorf("Name = %q, want x86-64", a.Name)
+	}
+}
+
+func TestSyntheticARMSize(t *testing.T) {
+	a := SyntheticARM()
+	if a.NumForms() != 390 {
+		t.Fatalf("SyntheticARM has %d forms, want 390 (paper §5.1.2)", a.NumForms())
+	}
+	if a.Name != "ARMv8-A" {
+		t.Errorf("Name = %q, want ARMv8-A", a.Name)
+	}
+}
+
+func TestSyntheticTablesHaveDiverseClasses(t *testing.T) {
+	for _, a := range []*ISA{SyntheticX86(), SyntheticARM()} {
+		classes := a.Classes()
+		if len(classes) < 10 {
+			t.Errorf("%s: only %d classes (%v), want >= 10 for realistic diversity",
+				a.Name, len(classes), classes)
+		}
+		// Every class must be non-empty by construction; check lookup agrees.
+		total := 0
+		for _, c := range classes {
+			forms := a.FormsInClass(c)
+			if len(forms) == 0 {
+				t.Errorf("%s: class %q has no forms", a.Name, c)
+			}
+			total += len(forms)
+		}
+		if total != a.NumForms() {
+			t.Errorf("%s: classes cover %d forms, want %d", a.Name, total, a.NumForms())
+		}
+	}
+}
+
+func TestSyntheticTablesExcludeBranches(t *testing.T) {
+	// Paper §5.1.2 excludes branch/jump instructions.
+	for _, a := range []*ISA{SyntheticX86(), SyntheticARM()} {
+		for _, f := range a.Forms() {
+			m := f.Mnemonic
+			if m == "jmp" || m == "je" || m == "b" || m == "bl" || m == "cbz" ||
+				strings.HasPrefix(m, "j") && f.Class == "branch" {
+				t.Errorf("%s contains branch-like form %q", a.Name, f.Name())
+			}
+		}
+	}
+}
+
+func TestSubset(t *testing.T) {
+	a := SyntheticX86()
+	var picks []*Form
+	for _, f := range a.Forms()[:5] {
+		picks = append(picks, f)
+	}
+	sub, err := a.Subset("x86-sub", picks)
+	if err != nil {
+		t.Fatalf("Subset: %v", err)
+	}
+	if sub.NumForms() != 5 {
+		t.Fatalf("subset has %d forms, want 5", sub.NumForms())
+	}
+	for i, f := range sub.Forms() {
+		if f.ID != i {
+			t.Errorf("subset form %d has ID %d", i, f.ID)
+		}
+		if f.Name() != picks[i].Name() {
+			t.Errorf("subset form %d = %q, want %q", i, f.Name(), picks[i].Name())
+		}
+	}
+	// Mutating the subset must not affect the original.
+	sub.Forms()[0].Operands[0].Width = 1
+	if a.Forms()[0].Operands[0].Width == 1 {
+		t.Error("Subset shares operand storage with original ISA")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	for _, orig := range []*ISA{SyntheticX86(), SyntheticARM()} {
+		var buf bytes.Buffer
+		if err := orig.WriteText(&buf); err != nil {
+			t.Fatalf("%s: WriteText: %v", orig.Name, err)
+		}
+		got, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("%s: ReadText: %v", orig.Name, err)
+		}
+		if got.Name != orig.Name {
+			t.Errorf("round-trip name = %q, want %q", got.Name, orig.Name)
+		}
+		if got.NumForms() != orig.NumForms() {
+			t.Fatalf("%s: round-trip %d forms, want %d", orig.Name, got.NumForms(), orig.NumForms())
+		}
+		for i, f := range orig.Forms() {
+			g := got.Form(i)
+			if g.Name() != f.Name() || g.Class != f.Class {
+				t.Errorf("form %d: got %q/%q, want %q/%q", i, g.Name(), g.Class, f.Name(), f.Class)
+			}
+			if len(g.Operands) != len(f.Operands) {
+				t.Errorf("form %d: %d operands, want %d", i, len(g.Operands), len(f.Operands))
+				continue
+			}
+			for j, op := range f.Operands {
+				if g.Operands[j] != op {
+					t.Errorf("form %d operand %d: got %+v, want %+v", i, j, g.Operands[j], op)
+				}
+			}
+		}
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"empty", ""},
+		{"form before header", "form add class=alu\n"},
+		{"duplicate header", "isa a\nisa b\n"},
+		{"bad directive", "isa a\nblah\n"},
+		{"malformed attr", "isa a\nform add class\n"},
+		{"bad operand", "isa a\nform add class=alu ops=bogus\n"},
+		{"bad kind", "isa a\nform add class=alu ops=r:xyz:gpr:64\n"},
+		{"bad class", "isa a\nform add class=alu ops=r:reg:xyz:64\n"},
+		{"bad width", "isa a\nform add class=alu ops=r:reg:gpr:xx\n"},
+		{"duplicate form", "isa a\nform add class=alu\nform add class=alu\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ReadText(strings.NewReader(tc.input)); err == nil {
+			t.Errorf("%s: ReadText succeeded, want error", tc.name)
+		}
+	}
+}
+
+func TestReadTextSkipsCommentsAndBlanks(t *testing.T) {
+	input := "# header comment\n\nisa mini\n# a form\nform add class=alu ops=rw:reg:gpr:64,r:reg:gpr:64\n"
+	a, err := ReadText(strings.NewReader(input))
+	if err != nil {
+		t.Fatalf("ReadText: %v", err)
+	}
+	if a.NumForms() != 1 {
+		t.Fatalf("got %d forms, want 1", a.NumForms())
+	}
+	f := a.Form(0)
+	if f.Name() != "add_r64_r64" {
+		t.Errorf("form name = %q", f.Name())
+	}
+	if !f.Operands[0].Read || !f.Operands[0].Write {
+		t.Error("first operand should be read-write")
+	}
+}
+
+func TestOperandStringForms(t *testing.T) {
+	tests := []struct {
+		op   Operand
+		want string
+	}{
+		{reg(ClassGPR, 64), "r64"},
+		{reg(ClassVec, 256), "v256"},
+		{reg(ClassFPR, 32), "f32"},
+		{mem(64), "m64"},
+		{imm(8), "i8"},
+	}
+	for _, tc := range tests {
+		if got := tc.op.String(); got != tc.want {
+			t.Errorf("%+v String() = %q, want %q", tc.op, got, tc.want)
+		}
+	}
+}
+
+func TestKindAndClassStrings(t *testing.T) {
+	if KindReg.String() != "reg" || KindMem.String() != "mem" || KindImm.String() != "imm" {
+		t.Error("OperandKind String() wrong")
+	}
+	if ClassGPR.String() != "gpr" || ClassVec.String() != "vec" ||
+		ClassFPR.String() != "fpr" || ClassNone.String() != "none" {
+		t.Error("RegClass String() wrong")
+	}
+	if !strings.Contains(OperandKind(99).String(), "99") {
+		t.Error("unknown OperandKind should include numeric value")
+	}
+	if !strings.Contains(RegClass(99).String(), "99") {
+		t.Error("unknown RegClass should include numeric value")
+	}
+}

@@ -1,0 +1,175 @@
+package isa
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file implements a line-oriented text format for ISA descriptions,
+// so instruction form sets can be stored alongside measured data. The
+// format is deliberately simple:
+//
+//	# comment
+//	isa x86-64
+//	form add class=alu ops=rw:reg:gpr:64,r:reg:gpr:64
+//
+// Each operand is flags:kind:class:width where flags is a combination of
+// "r" and "w", kind is reg|mem|imm, class is gpr|vec|fpr|none.
+
+// WriteText serializes the ISA in the text format.
+func (a *ISA) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "isa %s\n", a.Name)
+	for _, f := range a.forms {
+		ops := make([]string, len(f.Operands))
+		for i, op := range f.Operands {
+			ops[i] = formatOperand(op)
+		}
+		if len(ops) == 0 {
+			fmt.Fprintf(bw, "form %s class=%s\n", f.Mnemonic, f.Class)
+		} else {
+			fmt.Fprintf(bw, "form %s class=%s ops=%s\n",
+				f.Mnemonic, f.Class, strings.Join(ops, ","))
+		}
+	}
+	return bw.Flush()
+}
+
+func formatOperand(op Operand) string {
+	flags := ""
+	if op.Read {
+		flags += "r"
+	}
+	if op.Write {
+		flags += "w"
+	}
+	if flags == "" {
+		flags = "-"
+	}
+	var kind string
+	switch op.Kind {
+	case KindReg:
+		kind = "reg"
+	case KindMem:
+		kind = "mem"
+	case KindImm:
+		kind = "imm"
+	}
+	return fmt.Sprintf("%s:%s:%s:%d", flags, kind, op.Class, op.Width)
+}
+
+func parseOperand(s string) (Operand, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 4 {
+		return Operand{}, fmt.Errorf("isa: malformed operand %q", s)
+	}
+	var op Operand
+	for _, c := range parts[0] {
+		switch c {
+		case 'r':
+			op.Read = true
+		case 'w':
+			op.Write = true
+		case '-':
+		default:
+			return Operand{}, fmt.Errorf("isa: bad operand flags %q", parts[0])
+		}
+	}
+	switch parts[1] {
+	case "reg":
+		op.Kind = KindReg
+	case "mem":
+		op.Kind = KindMem
+	case "imm":
+		op.Kind = KindImm
+	default:
+		return Operand{}, fmt.Errorf("isa: bad operand kind %q", parts[1])
+	}
+	switch parts[2] {
+	case "gpr":
+		op.Class = ClassGPR
+	case "vec":
+		op.Class = ClassVec
+	case "fpr":
+		op.Class = ClassFPR
+	case "none":
+		op.Class = ClassNone
+	default:
+		return Operand{}, fmt.Errorf("isa: bad register class %q", parts[2])
+	}
+	w, err := strconv.Atoi(parts[3])
+	if err != nil || w <= 0 {
+		return Operand{}, fmt.Errorf("isa: bad operand width %q", parts[3])
+	}
+	op.Width = w
+	return op, nil
+}
+
+// ReadText parses an ISA from the text format produced by WriteText.
+func ReadText(r io.Reader) (*ISA, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	var a *ISA
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "isa":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("isa: line %d: want 'isa <name>'", lineno)
+			}
+			if a != nil {
+				return nil, fmt.Errorf("isa: line %d: duplicate isa header", lineno)
+			}
+			a = New(fields[1])
+		case "form":
+			if a == nil {
+				return nil, fmt.Errorf("isa: line %d: form before isa header", lineno)
+			}
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("isa: line %d: want 'form <mnem> class=... [ops=...]'", lineno)
+			}
+			f := Form{Mnemonic: fields[1]}
+			for _, kv := range fields[2:] {
+				key, val, ok := strings.Cut(kv, "=")
+				if !ok {
+					return nil, fmt.Errorf("isa: line %d: malformed attribute %q", lineno, kv)
+				}
+				switch key {
+				case "class":
+					f.Class = val
+				case "ops":
+					for _, opStr := range strings.Split(val, ",") {
+						op, err := parseOperand(opStr)
+						if err != nil {
+							return nil, fmt.Errorf("isa: line %d: %v", lineno, err)
+						}
+						f.Operands = append(f.Operands, op)
+					}
+				default:
+					return nil, fmt.Errorf("isa: line %d: unknown attribute %q", lineno, key)
+				}
+			}
+			if _, err := a.AddForm(f); err != nil {
+				return nil, fmt.Errorf("isa: line %d: %v", lineno, err)
+			}
+		default:
+			return nil, fmt.Errorf("isa: line %d: unknown directive %q", lineno, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if a == nil {
+		return nil, fmt.Errorf("isa: empty input")
+	}
+	return a, nil
+}

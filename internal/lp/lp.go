@@ -1,0 +1,451 @@
+// Package lp implements a small dense linear programming solver using the
+// two-phase primal simplex method with Bland's anti-cycling rule.
+//
+// The solver exists for two reasons. First, the paper defines instruction
+// throughput as the optimum of a linear program (Definitions 3 and 4), and
+// we cross-validate the bottleneck simulation algorithm against a direct
+// LP solution. Second, §5.4 compares the bottleneck algorithm's speed
+// against a state-of-the-art LP solver (Gurobi); this package is the
+// stdlib-only stand-in for that baseline, with model construction included
+// in the measured time exactly as in the paper.
+//
+// All variables are non-negative. Problems may minimize or maximize a
+// linear objective subject to ≤, ≥ and = constraints.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Relation is the comparison operator of a constraint.
+type Relation int
+
+const (
+	// LE is "less than or equal" (≤).
+	LE Relation = iota
+	// GE is "greater than or equal" (≥).
+	GE
+	// EQ is equality (=).
+	EQ
+)
+
+// String returns the operator symbol.
+func (r Relation) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return fmt.Sprintf("Relation(%d)", int(r))
+	}
+}
+
+// Sense is the optimization direction.
+type Sense int
+
+const (
+	// Minimize the objective.
+	Minimize Sense = iota
+	// Maximize the objective.
+	Maximize
+)
+
+// Status reports the outcome of Solve.
+type Status int
+
+const (
+	// Optimal means an optimal solution was found.
+	Optimal Status = iota
+	// Infeasible means no assignment satisfies all constraints.
+	Infeasible
+	// Unbounded means the objective can be improved without limit.
+	Unbounded
+)
+
+// String returns the status name.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// ErrNotSolved is returned by accessors when the problem has not been
+// solved to optimality.
+var ErrNotSolved = errors.New("lp: problem not solved to optimality")
+
+// Var identifies a decision variable within its Problem.
+type Var int
+
+// Term is a coefficient-variable product in a linear expression.
+type Term struct {
+	Var   Var
+	Coeff float64
+}
+
+type constraint struct {
+	terms []Term
+	rel   Relation
+	rhs   float64
+}
+
+// Problem is a linear program under construction. The zero value is not
+// usable; create problems with NewProblem.
+type Problem struct {
+	sense   Sense
+	objness []float64 // objective coefficient per variable
+	cons    []constraint
+}
+
+// NewProblem creates an empty problem with the given optimization sense.
+func NewProblem(sense Sense) *Problem {
+	return &Problem{sense: sense}
+}
+
+// AddVariable adds a non-negative decision variable with the given
+// objective coefficient and returns its handle.
+func (p *Problem) AddVariable(objCoeff float64) Var {
+	p.objness = append(p.objness, objCoeff)
+	return Var(len(p.objness) - 1)
+}
+
+// NumVariables returns the number of variables added so far.
+func (p *Problem) NumVariables() int { return len(p.objness) }
+
+// AddConstraint adds the constraint Σ terms rel rhs. Terms may repeat a
+// variable; coefficients are summed.
+func (p *Problem) AddConstraint(terms []Term, rel Relation, rhs float64) error {
+	for _, t := range terms {
+		if int(t.Var) < 0 || int(t.Var) >= len(p.objness) {
+			return fmt.Errorf("lp: constraint references unknown variable %d", t.Var)
+		}
+	}
+	p.cons = append(p.cons, constraint{
+		terms: append([]Term(nil), terms...),
+		rel:   rel,
+		rhs:   rhs,
+	})
+	return nil
+}
+
+// NumConstraints returns the number of constraints added so far.
+func (p *Problem) NumConstraints() int { return len(p.cons) }
+
+// Solution holds the result of Solve.
+type Solution struct {
+	Status    Status
+	Objective float64
+	values    []float64
+}
+
+// Value returns the optimal value of variable v.
+func (s *Solution) Value(v Var) (float64, error) {
+	if s.Status != Optimal {
+		return 0, ErrNotSolved
+	}
+	if int(v) < 0 || int(v) >= len(s.values) {
+		return 0, fmt.Errorf("lp: unknown variable %d", v)
+	}
+	return s.values[v], nil
+}
+
+// Values returns the optimal values of all variables in declaration
+// order. The returned slice must not be modified.
+func (s *Solution) Values() ([]float64, error) {
+	if s.Status != Optimal {
+		return nil, ErrNotSolved
+	}
+	return s.values, nil
+}
+
+// tol is the numeric tolerance for pivoting and feasibility decisions.
+const tol = 1e-9
+
+// Solve runs the two-phase simplex method and returns the solution. The
+// Problem may be re-solved after further modification.
+func (p *Problem) Solve() *Solution {
+	n := len(p.objness)
+	m := len(p.cons)
+
+	// Build the standard-form tableau. Columns: n structural variables,
+	// then one slack/surplus variable per inequality, then one artificial
+	// variable per constraint that needs one, then the RHS.
+	numSlack := 0
+	for _, c := range p.cons {
+		if c.rel != EQ {
+			numSlack++
+		}
+	}
+
+	// Normalize RHS to be non-negative (flip constraint if needed).
+	type rowSpec struct {
+		coeffs []float64
+		rel    Relation
+		rhs    float64
+	}
+	rows := make([]rowSpec, m)
+	for i, c := range p.cons {
+		coeffs := make([]float64, n)
+		for _, t := range c.terms {
+			coeffs[t.Var] += t.Coeff
+		}
+		rel, rhs := c.rel, c.rhs
+		if rhs < 0 {
+			for j := range coeffs {
+				coeffs[j] = -coeffs[j]
+			}
+			rhs = -rhs
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		rows[i] = rowSpec{coeffs: coeffs, rel: rel, rhs: rhs}
+	}
+
+	// Count artificials: GE and EQ rows need one; LE rows use their slack
+	// as the initial basic variable.
+	numArt := 0
+	for _, r := range rows {
+		if r.rel != LE {
+			numArt++
+		}
+	}
+
+	totalCols := n + numSlack + numArt
+	t := newTableau(m, totalCols)
+
+	slackIdx := n
+	artIdx := n + numSlack
+	artCols := make([]int, 0, numArt)
+	for i, r := range rows {
+		copy(t.a[i][:n], r.coeffs)
+		t.rhs[i] = r.rhs
+		switch r.rel {
+		case LE:
+			t.a[i][slackIdx] = 1
+			t.basis[i] = slackIdx
+			slackIdx++
+		case GE:
+			t.a[i][slackIdx] = -1
+			slackIdx++
+			t.a[i][artIdx] = 1
+			t.basis[i] = artIdx
+			artCols = append(artCols, artIdx)
+			artIdx++
+		case EQ:
+			t.a[i][artIdx] = 1
+			t.basis[i] = artIdx
+			artCols = append(artCols, artIdx)
+			artIdx++
+		}
+	}
+
+	// Phase 1: minimize the sum of artificial variables.
+	if numArt > 0 {
+		phase1 := make([]float64, totalCols)
+		for _, j := range artCols {
+			phase1[j] = 1
+		}
+		t.setObjective(phase1)
+		if !t.optimize() {
+			// Phase-1 objective is bounded below by 0; unboundedness
+			// cannot happen with a correct implementation.
+			return &Solution{Status: Infeasible}
+		}
+		if t.objValue() > 1e-7 {
+			return &Solution{Status: Infeasible}
+		}
+		// Pivot any artificial variables that remain basic at zero level
+		// out of the basis where possible; rows that cannot be pivoted
+		// are redundant and harmless because their RHS is zero.
+		for i := 0; i < m; i++ {
+			if !isArtificial(t.basis[i], n+numSlack) {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < n+numSlack; j++ {
+				if math.Abs(t.a[i][j]) > tol {
+					t.pivot(i, j)
+					pivoted = true
+					break
+				}
+			}
+			_ = pivoted
+		}
+		// Forbid artificials from re-entering.
+		t.forbidden = make([]bool, totalCols)
+		for _, j := range artCols {
+			t.forbidden[j] = true
+		}
+	}
+
+	// Phase 2: the real objective.
+	obj := make([]float64, totalCols)
+	for j := 0; j < n; j++ {
+		c := p.objness[j]
+		if p.sense == Maximize {
+			c = -c
+		}
+		obj[j] = c
+	}
+	t.setObjective(obj)
+	if !t.optimize() {
+		return &Solution{Status: Unbounded}
+	}
+
+	values := make([]float64, n)
+	for i, b := range t.basis {
+		if b < n {
+			values[b] = t.rhs[i]
+		}
+	}
+	objVal := 0.0
+	for j := 0; j < n; j++ {
+		objVal += p.objness[j] * values[j]
+	}
+	return &Solution{Status: Optimal, Objective: objVal, values: values}
+}
+
+func isArtificial(col, firstArt int) bool { return col >= firstArt }
+
+// tableau is a dense simplex tableau with an explicit objective row.
+type tableau struct {
+	m, n      int // rows, columns (excluding RHS)
+	a         [][]float64
+	rhs       []float64
+	obj       []float64 // reduced cost row
+	objRHS    float64   // negative of current objective value
+	basis     []int
+	forbidden []bool // columns barred from entering (artificials in phase 2)
+}
+
+func newTableau(m, n int) *tableau {
+	t := &tableau{
+		m:     m,
+		n:     n,
+		a:     make([][]float64, m),
+		rhs:   make([]float64, m),
+		obj:   make([]float64, n),
+		basis: make([]int, m),
+	}
+	for i := range t.a {
+		t.a[i] = make([]float64, n)
+	}
+	return t
+}
+
+// setObjective installs cost coefficients and prices out the current
+// basic variables so the objective row holds reduced costs.
+func (t *tableau) setObjective(costs []float64) {
+	copy(t.obj, costs)
+	t.objRHS = 0
+	for i, b := range t.basis {
+		cb := costs[b]
+		if cb == 0 {
+			continue
+		}
+		for j := 0; j < t.n; j++ {
+			t.obj[j] -= cb * t.a[i][j]
+		}
+		t.objRHS -= cb * t.rhs[i]
+	}
+}
+
+// objValue returns the current objective value.
+func (t *tableau) objValue() float64 { return -t.objRHS }
+
+// optimize runs simplex pivots until optimal or unbounded. It returns
+// false on unboundedness. Bland's rule (smallest-index entering and
+// leaving variables) guarantees termination.
+func (t *tableau) optimize() bool {
+	for iter := 0; ; iter++ {
+		// Entering variable: smallest index with negative reduced cost.
+		enter := -1
+		for j := 0; j < t.n; j++ {
+			if t.forbidden != nil && t.forbidden[j] {
+				continue
+			}
+			if t.obj[j] < -tol {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			return true // optimal
+		}
+		// Leaving row: minimum ratio; ties broken by smallest basis index
+		// (Bland).
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			aij := t.a[i][enter]
+			if aij <= tol {
+				continue
+			}
+			ratio := t.rhs[i] / aij
+			if ratio < bestRatio-tol ||
+				(ratio < bestRatio+tol && (leave < 0 || t.basis[i] < t.basis[leave])) {
+				bestRatio = ratio
+				leave = i
+			}
+		}
+		if leave < 0 {
+			return false // unbounded
+		}
+		t.pivot(leave, enter)
+	}
+}
+
+// pivot makes column enter basic in row leave.
+func (t *tableau) pivot(leave, enter int) {
+	piv := t.a[leave][enter]
+	inv := 1 / piv
+	row := t.a[leave]
+	for j := 0; j < t.n; j++ {
+		row[j] *= inv
+	}
+	t.rhs[leave] *= inv
+	row[enter] = 1 // exact
+
+	for i := 0; i < t.m; i++ {
+		if i == leave {
+			continue
+		}
+		f := t.a[i][enter]
+		if f == 0 {
+			continue
+		}
+		ri := t.a[i]
+		for j := 0; j < t.n; j++ {
+			ri[j] -= f * row[j]
+		}
+		ri[enter] = 0 // exact
+		t.rhs[i] -= f * t.rhs[leave]
+		if t.rhs[i] < 0 && t.rhs[i] > -tol {
+			t.rhs[i] = 0
+		}
+	}
+	f := t.obj[enter]
+	if f != 0 {
+		for j := 0; j < t.n; j++ {
+			t.obj[j] -= f * row[j]
+		}
+		t.obj[enter] = 0
+		t.objRHS -= f * t.rhs[leave]
+	}
+	t.basis[leave] = enter
+}

@@ -1,0 +1,321 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approxEq(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func mustSolve(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	s := p.Solve()
+	if s.Status != Optimal {
+		t.Fatalf("Solve status = %v, want optimal", s.Status)
+	}
+	return s
+}
+
+func TestMaximizeTextbook(t *testing.T) {
+	// max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (Dantzig's example).
+	// Optimum: x=2, y=6, obj=36.
+	p := NewProblem(Maximize)
+	x := p.AddVariable(3)
+	y := p.AddVariable(5)
+	p.AddConstraint([]Term{{x, 1}}, LE, 4)
+	p.AddConstraint([]Term{{y, 2}}, LE, 12)
+	p.AddConstraint([]Term{{x, 3}, {y, 2}}, LE, 18)
+	s := mustSolve(t, p)
+	if !approxEq(s.Objective, 36) {
+		t.Errorf("objective = %g, want 36", s.Objective)
+	}
+	vx, _ := s.Value(x)
+	vy, _ := s.Value(y)
+	if !approxEq(vx, 2) || !approxEq(vy, 6) {
+		t.Errorf("solution = (%g, %g), want (2, 6)", vx, vy)
+	}
+}
+
+func TestMinimizeWithGE(t *testing.T) {
+	// min 2x + 3y s.t. x + y >= 10, x >= 2. Optimum: x=10 (y=0)? No:
+	// cost of x is 2 < 3, so x=10, y=0, obj=20; x >= 2 satisfied.
+	p := NewProblem(Minimize)
+	x := p.AddVariable(2)
+	y := p.AddVariable(3)
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, GE, 10)
+	p.AddConstraint([]Term{{x, 1}}, GE, 2)
+	s := mustSolve(t, p)
+	if !approxEq(s.Objective, 20) {
+		t.Errorf("objective = %g, want 20", s.Objective)
+	}
+}
+
+func TestEqualityConstraints(t *testing.T) {
+	// min x + 2y s.t. x + y = 5, x - y = 1 → x=3, y=2, obj=7.
+	p := NewProblem(Minimize)
+	x := p.AddVariable(1)
+	y := p.AddVariable(2)
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, EQ, 5)
+	p.AddConstraint([]Term{{x, 1}, {y, -1}}, EQ, 1)
+	s := mustSolve(t, p)
+	if !approxEq(s.Objective, 7) {
+		t.Errorf("objective = %g, want 7", s.Objective)
+	}
+	vx, _ := s.Value(x)
+	vy, _ := s.Value(y)
+	if !approxEq(vx, 3) || !approxEq(vy, 2) {
+		t.Errorf("solution = (%g, %g), want (3, 2)", vx, vy)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x <= 1 and x >= 2 cannot both hold.
+	p := NewProblem(Minimize)
+	x := p.AddVariable(1)
+	p.AddConstraint([]Term{{x, 1}}, LE, 1)
+	p.AddConstraint([]Term{{x, 1}}, GE, 2)
+	s := p.Solve()
+	if s.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", s.Status)
+	}
+	if _, err := s.Value(x); err == nil {
+		t.Error("Value on infeasible solution should error")
+	}
+	if _, err := s.Values(); err == nil {
+		t.Error("Values on infeasible solution should error")
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// max x with only x >= 0: unbounded.
+	p := NewProblem(Maximize)
+	x := p.AddVariable(1)
+	p.AddConstraint([]Term{{x, 1}}, GE, 0)
+	s := p.Solve()
+	if s.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// min x s.t. -x <= -3  (i.e. x >= 3).
+	p := NewProblem(Minimize)
+	x := p.AddVariable(1)
+	p.AddConstraint([]Term{{x, -1}}, LE, -3)
+	s := mustSolve(t, p)
+	if !approxEq(s.Objective, 3) {
+		t.Errorf("objective = %g, want 3", s.Objective)
+	}
+}
+
+func TestNegativeRHSEquality(t *testing.T) {
+	// min x + y s.t. -x - y = -4 → x + y = 4, obj 4.
+	p := NewProblem(Minimize)
+	x := p.AddVariable(1)
+	y := p.AddVariable(1)
+	p.AddConstraint([]Term{{x, -1}, {y, -1}}, EQ, -4)
+	s := mustSolve(t, p)
+	if !approxEq(s.Objective, 4) {
+		t.Errorf("objective = %g, want 4", s.Objective)
+	}
+}
+
+func TestRepeatedVariableInConstraint(t *testing.T) {
+	// Terms repeating a variable are summed: 2x + 3x = 5x <= 10 → x <= 2.
+	p := NewProblem(Maximize)
+	x := p.AddVariable(1)
+	p.AddConstraint([]Term{{x, 2}, {x, 3}}, LE, 10)
+	s := mustSolve(t, p)
+	if !approxEq(s.Objective, 2) {
+		t.Errorf("objective = %g, want 2", s.Objective)
+	}
+}
+
+func TestDegenerateProblem(t *testing.T) {
+	// A classic degenerate LP (Beale's cycling example needs a specific
+	// pivot rule to cycle; Bland's rule must terminate with the optimum).
+	// min -0.75x4 + 150x5 - 0.02x6 + 6x7
+	// s.t. 0.25x4 - 60x5 - 0.04x6 + 9x7 <= 0
+	//      0.5x4 - 90x5 - 0.02x6 + 3x7 <= 0
+	//      x6 <= 1
+	// Optimum: -0.05 at x6=1 (x4=x5=x7 chosen accordingly).
+	p := NewProblem(Minimize)
+	x4 := p.AddVariable(-0.75)
+	x5 := p.AddVariable(150)
+	x6 := p.AddVariable(-0.02)
+	x7 := p.AddVariable(6)
+	p.AddConstraint([]Term{{x4, 0.25}, {x5, -60}, {x6, -0.04}, {x7, 9}}, LE, 0)
+	p.AddConstraint([]Term{{x4, 0.5}, {x5, -90}, {x6, -0.02}, {x7, 3}}, LE, 0)
+	p.AddConstraint([]Term{{x6, 1}}, LE, 1)
+	s := mustSolve(t, p)
+	if !approxEq(s.Objective, -0.05) {
+		t.Errorf("objective = %g, want -0.05", s.Objective)
+	}
+}
+
+func TestRedundantEqualities(t *testing.T) {
+	// Same equality twice: phase 1 leaves a redundant artificial basic
+	// at level zero; solver must still succeed.
+	p := NewProblem(Minimize)
+	x := p.AddVariable(1)
+	y := p.AddVariable(1)
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, EQ, 2)
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, EQ, 2)
+	s := mustSolve(t, p)
+	if !approxEq(s.Objective, 2) {
+		t.Errorf("objective = %g, want 2", s.Objective)
+	}
+}
+
+func TestZeroRHSEqualities(t *testing.T) {
+	// min x s.t. x - y = 0, y >= 5 → x = 5.
+	p := NewProblem(Minimize)
+	x := p.AddVariable(1)
+	y := p.AddVariable(0)
+	p.AddConstraint([]Term{{x, 1}, {y, -1}}, EQ, 0)
+	p.AddConstraint([]Term{{y, 1}}, GE, 5)
+	s := mustSolve(t, p)
+	if !approxEq(s.Objective, 5) {
+		t.Errorf("objective = %g, want 5", s.Objective)
+	}
+}
+
+func TestAddConstraintUnknownVariable(t *testing.T) {
+	p := NewProblem(Minimize)
+	p.AddVariable(1)
+	if err := p.AddConstraint([]Term{{Var(5), 1}}, LE, 1); err == nil {
+		t.Error("constraint with unknown variable accepted")
+	}
+	if err := p.AddConstraint([]Term{{Var(-1), 1}}, LE, 1); err == nil {
+		t.Error("constraint with negative variable accepted")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	p := NewProblem(Minimize)
+	p.AddVariable(1)
+	p.AddVariable(2)
+	p.AddConstraint(nil, LE, 1)
+	if p.NumVariables() != 2 || p.NumConstraints() != 1 {
+		t.Errorf("counts = (%d, %d), want (2, 1)", p.NumVariables(), p.NumConstraints())
+	}
+}
+
+func TestSolutionValueBounds(t *testing.T) {
+	p := NewProblem(Minimize)
+	x := p.AddVariable(1)
+	p.AddConstraint([]Term{{x, 1}}, GE, 1)
+	s := mustSolve(t, p)
+	if _, err := s.Value(Var(99)); err == nil {
+		t.Error("Value of out-of-range variable should error")
+	}
+}
+
+func TestRelationAndStatusStrings(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Error("Relation strings wrong")
+	}
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" ||
+		Unbounded.String() != "unbounded" {
+		t.Error("Status strings wrong")
+	}
+}
+
+// TestRandomFeasibilityInvariant solves random feasible LPs and verifies
+// that the returned solution satisfies every constraint and that the
+// reported objective matches the variable assignment.
+func TestRandomFeasibilityInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		nVars := 1 + rng.Intn(6)
+		nCons := 1 + rng.Intn(6)
+		p := NewProblem(Minimize)
+		vars := make([]Var, nVars)
+		objCoeffs := make([]float64, nVars)
+		for i := range vars {
+			objCoeffs[i] = rng.Float64() * 5 // non-negative costs keep min bounded
+			vars[i] = p.AddVariable(objCoeffs[i])
+		}
+		type savedCon struct {
+			coeffs []float64
+			rel    Relation
+			rhs    float64
+		}
+		var saved []savedCon
+		for c := 0; c < nCons; c++ {
+			coeffs := make([]float64, nVars)
+			terms := make([]Term, 0, nVars)
+			sum := 0.0
+			for i := range coeffs {
+				coeffs[i] = rng.Float64() * 3 // non-negative coefficients
+				terms = append(terms, Term{vars[i], coeffs[i]})
+				sum += coeffs[i]
+			}
+			// GE constraints with positive rhs are always feasible with
+			// non-negative coefficients as long as some coefficient > 0.
+			rhs := rng.Float64() * 10
+			rel := GE
+			if sum < tolTest {
+				rel = LE // all-zero row: make it trivially satisfiable
+			}
+			p.AddConstraint(terms, rel, rhs)
+			saved = append(saved, savedCon{coeffs, rel, rhs})
+		}
+		s := p.Solve()
+		if s.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, s.Status)
+		}
+		vals, _ := s.Values()
+		obj := 0.0
+		for i, v := range vals {
+			if v < -1e-9 {
+				t.Fatalf("trial %d: negative variable value %g", trial, v)
+			}
+			obj += objCoeffs[i] * v
+		}
+		if !approxEq(obj, s.Objective) {
+			t.Fatalf("trial %d: objective mismatch: %g vs %g", trial, obj, s.Objective)
+		}
+		for ci, c := range saved {
+			lhs := 0.0
+			for i, v := range vals {
+				lhs += c.coeffs[i] * v
+			}
+			switch c.rel {
+			case GE:
+				if lhs < c.rhs-1e-6 {
+					t.Fatalf("trial %d constraint %d violated: %g >= %g", trial, ci, lhs, c.rhs)
+				}
+			case LE:
+				if lhs > c.rhs+1e-6 {
+					t.Fatalf("trial %d constraint %d violated: %g <= %g", trial, ci, lhs, c.rhs)
+				}
+			}
+		}
+	}
+}
+
+const tolTest = 1e-9
+
+// TestTransportationProblem exercises equality-heavy problems of the kind
+// the throughput LP produces (mass balance plus capacity rows).
+func TestTransportationProblem(t *testing.T) {
+	// Two sources (supply 3, 4), two sinks (demand 5, 2), costs:
+	//   c11=1 c12=4
+	//   c21=2 c22=1
+	// min cost = 1*3 + 2*2 + 1*2 ... optimal: x11=3, x21=2, x22=2 → 3+4+2=9.
+	p := NewProblem(Minimize)
+	x11 := p.AddVariable(1)
+	x12 := p.AddVariable(4)
+	x21 := p.AddVariable(2)
+	x22 := p.AddVariable(1)
+	p.AddConstraint([]Term{{x11, 1}, {x12, 1}}, EQ, 3)
+	p.AddConstraint([]Term{{x21, 1}, {x22, 1}}, EQ, 4)
+	p.AddConstraint([]Term{{x11, 1}, {x21, 1}}, EQ, 5)
+	p.AddConstraint([]Term{{x12, 1}, {x22, 1}}, EQ, 2)
+	s := mustSolve(t, p)
+	if !approxEq(s.Objective, 9) {
+		t.Errorf("objective = %g, want 9", s.Objective)
+	}
+}

@@ -1,0 +1,385 @@
+// Package machine implements a cycle-level simulator of an out-of-order
+// processor core, serving as the hardware substitute for the physical
+// Intel, AMD, and ARM machines of the paper's evaluation (Table 1).
+//
+// The simulator models the parts of Figure 1 that determine steady-state
+// throughput: a dispatch stage with limited width, a scheduler window of
+// limited capacity, execution ports that accept one µop per cycle
+// (pipelined units) or block for several cycles (dividers), and register
+// dependencies with per-instruction latencies.
+//
+// Crucially, the scheduler is *greedy*, not optimal: µops issue oldest-
+// first to the least-loaded allowed port. The gap between this greedy
+// schedule and the optimal schedule assumed by the throughput model
+// (Definition 3, assumption 1) is one source of the model error the paper
+// observes (Figure 6), alongside measurement noise. A deliberately weak
+// configuration (narrow dispatch, small window) reproduces the A72's
+// "less advanced out-of-order execution engine" (§5.3.2).
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"pmevo/internal/portmap"
+)
+
+// SchedPolicy selects how the greedy scheduler picks among free allowed
+// ports.
+type SchedPolicy int
+
+const (
+	// LeastLoaded picks the free allowed port with the smallest total
+	// number of µops issued so far. This balances well and is close to
+	// the optimal scheduler for symmetric workloads.
+	LeastLoaded SchedPolicy = iota
+	// LowestIndex always picks the free allowed port with the smallest
+	// index. It creates systematic imbalance, modeling simpler hardware.
+	LowestIndex
+)
+
+// Config describes the simulated core.
+type Config struct {
+	// NumPorts is the number of execution ports.
+	NumPorts int
+	// DispatchWidth is the maximum number of µops entering the scheduler
+	// window per cycle.
+	DispatchWidth int
+	// WindowSize is the scheduler window capacity (µops waiting to
+	// issue).
+	WindowSize int
+	// Policy is the port selection policy.
+	Policy SchedPolicy
+	// FrequencyGHz converts cycles to wall-clock time for the
+	// measurement harness.
+	FrequencyGHz float64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.NumPorts <= 0 || c.NumPorts > portmap.MaxPorts {
+		return fmt.Errorf("machine: invalid port count %d", c.NumPorts)
+	}
+	if c.DispatchWidth <= 0 {
+		return errors.New("machine: dispatch width must be positive")
+	}
+	if c.WindowSize <= 0 {
+		return errors.New("machine: window size must be positive")
+	}
+	if c.FrequencyGHz <= 0 {
+		return errors.New("machine: frequency must be positive")
+	}
+	return nil
+}
+
+// UopSpec describes one µop of an instruction's decomposition.
+type UopSpec struct {
+	// Ports is the set of ports that can execute the µop.
+	Ports portmap.PortSet
+	// Block is the number of cycles the chosen port is occupied.
+	// 1 means fully pipelined (Definition 3, assumption 2); dividers
+	// use larger values.
+	Block int
+}
+
+// InstSpec describes the execution behaviour of one instruction form.
+type InstSpec struct {
+	// Uops is the µop decomposition.
+	Uops []UopSpec
+	// Latency is the number of cycles from issue of the last µop until
+	// the instruction's results are available to dependent instructions.
+	Latency int
+}
+
+// Inst is one instruction instance in a program: a reference to its spec
+// plus the concrete registers it reads and writes. Register IDs are
+// small dense integers assigned by the caller (the measurement harness's
+// register allocator).
+type Inst struct {
+	Spec   int
+	Reads  []int
+	Writes []int
+}
+
+// Result reports a simulation run.
+type Result struct {
+	// Cycles is the number of cycles until the last µop issued.
+	Cycles int64
+	// Instructions is the total number of instruction instances executed.
+	Instructions int64
+	// Uops is the total number of µops issued.
+	Uops int64
+	// PortUops[k] is the number of µops issued on port k.
+	PortUops []int64
+	// WindowFullCycles counts cycles in which dispatch halted because
+	// the scheduler window was full — the signature of a too-small
+	// out-of-order window (the A72 story of §5.3.2).
+	WindowFullCycles int64
+	// OccupancySum accumulates the window occupancy per cycle; divide by
+	// Cycles (MeanOccupancy) for the average number of waiting µops.
+	OccupancySum int64
+}
+
+// IPC returns instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// MeanOccupancy returns the average scheduler-window occupancy over the
+// run, in µops.
+func (r Result) MeanOccupancy() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.OccupancySum) / float64(r.Cycles)
+}
+
+// WindowFullFraction returns the fraction of cycles in which the window
+// capacity stalled dispatch.
+func (r Result) WindowFullFraction() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.WindowFullCycles) / float64(r.Cycles)
+}
+
+// Machine is a simulated core with a fixed instruction spec table.
+type Machine struct {
+	cfg   Config
+	specs []InstSpec
+}
+
+// New creates a machine. Every spec must have at least one µop and every
+// µop at least one in-range port.
+func New(cfg Config, specs []InstSpec) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	all := portmap.FullPortSet(cfg.NumPorts)
+	for i, s := range specs {
+		if len(s.Uops) == 0 {
+			return nil, fmt.Errorf("machine: spec %d has no µops", i)
+		}
+		if s.Latency < 1 {
+			return nil, fmt.Errorf("machine: spec %d has latency %d < 1", i, s.Latency)
+		}
+		for j, u := range s.Uops {
+			if u.Ports.IsEmpty() {
+				return nil, fmt.Errorf("machine: spec %d µop %d has no ports", i, j)
+			}
+			if !u.Ports.SubsetOf(all) {
+				return nil, fmt.Errorf("machine: spec %d µop %d uses out-of-range ports %s", i, j, u.Ports)
+			}
+			if u.Block < 1 {
+				return nil, fmt.Errorf("machine: spec %d µop %d has block %d < 1", i, j, u.Block)
+			}
+		}
+	}
+	return &Machine{cfg: cfg, specs: specs}, nil
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// NumSpecs returns the number of instruction specs.
+func (m *Machine) NumSpecs() int { return len(m.specs) }
+
+const notReady = math.MaxInt64 / 4
+
+// flight is a µop in the scheduler window.
+type flight struct {
+	ports    portmap.PortSet
+	block    int
+	srcs     []*int64 // completion cells of the producing instructions
+	instCell *int64   // completion cell of this µop's instruction
+	instLeft *int32   // remaining un-issued µops of the instruction
+	latency  int64
+}
+
+// Run executes the loop body `iters` times and returns the result.
+// The body's register reads and writes establish dependencies across
+// iterations exactly as in real hardware (loop-carried dependencies are
+// respected; the measurement harness unrolls to avoid them).
+func (m *Machine) Run(body []Inst, iters int) (Result, error) {
+	for idx, in := range body {
+		if in.Spec < 0 || in.Spec >= len(m.specs) {
+			return Result{}, fmt.Errorf("machine: instruction %d references unknown spec %d", idx, in.Spec)
+		}
+	}
+	if len(body) == 0 || iters <= 0 {
+		return Result{PortUops: make([]int64, m.cfg.NumPorts)}, nil
+	}
+
+	// regCell maps a register ID to the completion cell of its most
+	// recent writer (register renaming: each dispatch of a writer
+	// installs a fresh cell).
+	regCell := make(map[int]*int64)
+	zero := int64(0)
+	cellFor := func(reg int) *int64 {
+		if c, ok := regCell[reg]; ok {
+			return c
+		}
+		regCell[reg] = &zero
+		return &zero
+	}
+
+	res := Result{PortUops: make([]int64, m.cfg.NumPorts)}
+
+	window := make([]*flight, 0, m.cfg.WindowSize)
+	portBusyUntil := make([]int64, m.cfg.NumPorts)
+	portLoad := make([]int64, m.cfg.NumPorts)
+
+	// Stream state: next µop to dispatch.
+	iter, bodyIdx, uopIdx := 0, 0, 0
+	var curCell *int64
+	var curLeft *int32
+	var curSrcs []*int64
+	var curSpec *InstSpec
+	startInst := func() {
+		in := body[bodyIdx]
+		spec := &m.specs[in.Spec]
+		curSpec = spec
+		curSrcs = make([]*int64, 0, len(in.Reads))
+		for _, r := range in.Reads {
+			curSrcs = append(curSrcs, cellFor(r))
+		}
+		cell := new(int64)
+		*cell = notReady
+		left := int32(len(spec.Uops))
+		curCell, curLeft = cell, &left
+		for _, w := range in.Writes {
+			regCell[w] = cell
+		}
+		res.Instructions++
+	}
+	startInst()
+
+	done := func() bool { return iter >= iters }
+	var lastIssue int64 = -1
+
+	const watchdog = int64(1) << 40
+	for cycle := int64(0); ; cycle++ {
+		if cycle > watchdog {
+			return Result{}, errors.New("machine: simulation exceeded watchdog limit")
+		}
+		// Dispatch stage: move up to DispatchWidth µops into the window.
+		dispatched := 0
+		for !done() && dispatched < m.cfg.DispatchWidth && len(window) < m.cfg.WindowSize {
+			u := curSpec.Uops[uopIdx]
+			window = append(window, &flight{
+				ports:    u.Ports,
+				block:    u.Block,
+				srcs:     curSrcs,
+				instCell: curCell,
+				instLeft: curLeft,
+				latency:  int64(curSpec.Latency),
+			})
+			dispatched++
+			uopIdx++
+			if uopIdx == len(curSpec.Uops) {
+				uopIdx = 0
+				bodyIdx++
+				if bodyIdx == len(body) {
+					bodyIdx = 0
+					iter++
+				}
+				if !done() {
+					startInst()
+				}
+			}
+		}
+
+		// Window statistics: a dispatch halted purely by window capacity
+		// marks this cycle as window-stalled.
+		if !done() && dispatched < m.cfg.DispatchWidth && len(window) >= m.cfg.WindowSize {
+			res.WindowFullCycles++
+		}
+		res.OccupancySum += int64(len(window))
+
+		// Issue stage: oldest-first greedy issue to free allowed ports.
+		var issuedPorts portmap.PortSet
+		w := 0
+		for _, f := range window {
+			ready := true
+			for _, s := range f.srcs {
+				if *s > cycle {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				window[w] = f
+				w++
+				continue
+			}
+			port := m.pickPort(f.ports, issuedPorts, portBusyUntil, portLoad, cycle)
+			if port < 0 {
+				window[w] = f
+				w++
+				continue
+			}
+			issuedPorts = issuedPorts.With(port)
+			portBusyUntil[port] = cycle + int64(f.block)
+			portLoad[port]++
+			res.PortUops[port]++
+			res.Uops++
+			lastIssue = cycle
+			*f.instLeft--
+			if *f.instLeft == 0 {
+				*f.instCell = cycle + f.latency
+			}
+		}
+		window = window[:w]
+
+		if done() && len(window) == 0 {
+			break
+		}
+	}
+	res.Cycles = lastIssue + 1
+	return res, nil
+}
+
+// pickPort selects a port for a µop that may use `allowed`, given the
+// ports already used this cycle and the per-port busy state. It returns
+// -1 if no allowed port is free.
+func (m *Machine) pickPort(allowed, issued portmap.PortSet, busyUntil, load []int64, cycle int64) int {
+	best := -1
+	var bestLoad int64
+	for v := uint64(allowed &^ issued); v != 0; v &= v - 1 {
+		k := bits.TrailingZeros64(v)
+		if busyUntil[k] > cycle {
+			continue
+		}
+		if m.cfg.Policy == LowestIndex {
+			return k
+		}
+		if best < 0 || load[k] < bestLoad {
+			best = k
+			bestLoad = load[k]
+		}
+	}
+	return best
+}
+
+// SteadyStateCycles runs the body for warmup+measure iterations and
+// returns the marginal cycles per iteration over the measured portion,
+// implementing the steady-state throughput of Definition 1.
+func (m *Machine) SteadyStateCycles(body []Inst, warmup, measure int) (float64, error) {
+	if measure <= 0 {
+		return 0, errors.New("machine: measure iterations must be positive")
+	}
+	r1, err := m.Run(body, warmup)
+	if err != nil {
+		return 0, err
+	}
+	r2, err := m.Run(body, warmup+measure)
+	if err != nil {
+		return 0, err
+	}
+	return float64(r2.Cycles-r1.Cycles) / float64(measure), nil
+}

@@ -1,0 +1,401 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"pmevo/internal/portmap"
+)
+
+// testConfig is a small 3-port machine with generous front end.
+func testConfig() Config {
+	return Config{
+		NumPorts:      3,
+		DispatchWidth: 6,
+		WindowSize:    60,
+		Policy:        LeastLoaded,
+		FrequencyGHz:  1.0,
+	}
+}
+
+func simpleSpec(lat int, ports ...int) InstSpec {
+	return InstSpec{
+		Uops:    []UopSpec{{Ports: portmap.MakePortSet(ports...), Block: 1}},
+		Latency: lat,
+	}
+}
+
+func mustMachine(t *testing.T, cfg Config, specs []InstSpec) *Machine {
+	t.Helper()
+	m, err := New(cfg, specs)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := testConfig()
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.NumPorts = 0 },
+		func(c *Config) { c.NumPorts = 100 },
+		func(c *Config) { c.DispatchWidth = 0 },
+		func(c *Config) { c.WindowSize = 0 },
+		func(c *Config) { c.FrequencyGHz = 0 },
+	}
+	for i, mutate := range cases {
+		c := testConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestNewRejectsBadSpecs(t *testing.T) {
+	cfg := testConfig()
+	cases := []InstSpec{
+		{}, // no µops
+		{Uops: []UopSpec{{Ports: 0, Block: 1}}, Latency: 1},                      // empty ports
+		{Uops: []UopSpec{{Ports: portmap.MakePortSet(5), Block: 1}}, Latency: 1}, // out of range
+		{Uops: []UopSpec{{Ports: portmap.MakePortSet(0), Block: 0}}, Latency: 1}, // bad block
+		{Uops: []UopSpec{{Ports: portmap.MakePortSet(0), Block: 1}}, Latency: 0}, // bad latency
+	}
+	for i, s := range cases {
+		if _, err := New(cfg, []InstSpec{s}); err == nil {
+			t.Errorf("case %d: invalid spec accepted", i)
+		}
+	}
+}
+
+func TestRunRejectsUnknownSpec(t *testing.T) {
+	m := mustMachine(t, testConfig(), []InstSpec{simpleSpec(1, 0)})
+	if _, err := m.Run([]Inst{{Spec: 3}}, 1); err == nil {
+		t.Error("unknown spec accepted")
+	}
+}
+
+func TestEmptyRun(t *testing.T) {
+	m := mustMachine(t, testConfig(), []InstSpec{simpleSpec(1, 0)})
+	r, err := m.Run(nil, 10)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r.Cycles != 0 || r.Instructions != 0 {
+		t.Errorf("empty run produced %+v", r)
+	}
+	if r.IPC() != 0 {
+		t.Errorf("IPC of empty run = %g", r.IPC())
+	}
+}
+
+func TestSinglePortThroughput(t *testing.T) {
+	// One instruction on one port, no dependencies: 1 cycle/inst.
+	m := mustMachine(t, testConfig(), []InstSpec{simpleSpec(1, 0)})
+	body := []Inst{
+		{Spec: 0, Writes: []int{1}},
+		{Spec: 0, Writes: []int{2}},
+	}
+	tp, err := m.SteadyStateCycles(body, 10, 100)
+	if err != nil {
+		t.Fatalf("SteadyStateCycles: %v", err)
+	}
+	// Two instructions per iteration, both on port 0: 2 cycles/iteration.
+	if math.Abs(tp-2) > 0.05 {
+		t.Errorf("steady state = %g cycles/iter, want 2", tp)
+	}
+}
+
+func TestTwoPortsBalance(t *testing.T) {
+	// Instructions on {P0,P1}: two can issue per cycle.
+	m := mustMachine(t, testConfig(), []InstSpec{simpleSpec(1, 0, 1)})
+	body := []Inst{
+		{Spec: 0, Writes: []int{1}},
+		{Spec: 0, Writes: []int{2}},
+		{Spec: 0, Writes: []int{3}},
+		{Spec: 0, Writes: []int{4}},
+	}
+	tp, err := m.SteadyStateCycles(body, 10, 100)
+	if err != nil {
+		t.Fatalf("SteadyStateCycles: %v", err)
+	}
+	if math.Abs(tp-2) > 0.05 {
+		t.Errorf("steady state = %g cycles/iter, want 2 (4 insts / 2 ports)", tp)
+	}
+}
+
+func TestPortUopsAccounting(t *testing.T) {
+	m := mustMachine(t, testConfig(), []InstSpec{simpleSpec(1, 0, 1)})
+	body := []Inst{{Spec: 0, Writes: []int{1}}, {Spec: 0, Writes: []int{2}}}
+	r, err := m.Run(body, 50)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r.Uops != 100 {
+		t.Errorf("Uops = %d, want 100", r.Uops)
+	}
+	if r.Instructions != 100 {
+		t.Errorf("Instructions = %d, want 100", r.Instructions)
+	}
+	var sum int64
+	for _, n := range r.PortUops {
+		sum += n
+	}
+	if sum != r.Uops {
+		t.Errorf("PortUops sum %d != Uops %d", sum, r.Uops)
+	}
+	// LeastLoaded should balance the two ports evenly.
+	if r.PortUops[0] != 50 || r.PortUops[1] != 50 {
+		t.Errorf("PortUops = %v, want 50/50 balance", r.PortUops)
+	}
+}
+
+func TestLowestIndexPolicySkews(t *testing.T) {
+	cfg := testConfig()
+	cfg.Policy = LowestIndex
+	cfg.DispatchWidth = 1 // one µop per cycle: port 0 always free at issue
+	m := mustMachine(t, cfg, []InstSpec{simpleSpec(1, 0, 1)})
+	body := []Inst{{Spec: 0, Writes: []int{1}}}
+	r, err := m.Run(body, 50)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r.PortUops[0] != 50 || r.PortUops[1] != 0 {
+		t.Errorf("PortUops = %v, want all on port 0", r.PortUops)
+	}
+}
+
+func TestLatencyChain(t *testing.T) {
+	// A dependency chain of 3-cycle instructions: 3 cycles per instruction.
+	m := mustMachine(t, testConfig(), []InstSpec{simpleSpec(3, 0, 1, 2)})
+	body := []Inst{{Spec: 0, Reads: []int{1}, Writes: []int{1}}}
+	tp, err := m.SteadyStateCycles(body, 10, 50)
+	if err != nil {
+		t.Fatalf("SteadyStateCycles: %v", err)
+	}
+	if math.Abs(tp-3) > 0.05 {
+		t.Errorf("steady state = %g cycles/iter, want 3 (latency-bound chain)", tp)
+	}
+}
+
+func TestIndependentStreamsHideLatency(t *testing.T) {
+	// Three independent chains of latency 3 on 3 ports: 1 cycle/inst.
+	m := mustMachine(t, testConfig(), []InstSpec{simpleSpec(3, 0, 1, 2)})
+	body := []Inst{
+		{Spec: 0, Reads: []int{1}, Writes: []int{1}},
+		{Spec: 0, Reads: []int{2}, Writes: []int{2}},
+		{Spec: 0, Reads: []int{3}, Writes: []int{3}},
+	}
+	tp, err := m.SteadyStateCycles(body, 20, 100)
+	if err != nil {
+		t.Fatalf("SteadyStateCycles: %v", err)
+	}
+	if math.Abs(tp-3) > 0.1 {
+		t.Errorf("steady state = %g cycles/iter, want 3 (3 chains × 3 cycles / 3-way ILP)", tp)
+	}
+}
+
+func TestBlockingDivider(t *testing.T) {
+	// An unpipelined 4-cycle divider on port 0: 4 cycles per instruction
+	// even without dependencies (Definition 3 assumption 2 violation).
+	spec := InstSpec{
+		Uops:    []UopSpec{{Ports: portmap.MakePortSet(0), Block: 4}},
+		Latency: 10,
+	}
+	m := mustMachine(t, testConfig(), []InstSpec{spec})
+	body := []Inst{{Spec: 0, Writes: []int{1}}}
+	tp, err := m.SteadyStateCycles(body, 10, 50)
+	if err != nil {
+		t.Fatalf("SteadyStateCycles: %v", err)
+	}
+	if math.Abs(tp-4) > 0.1 {
+		t.Errorf("steady state = %g cycles/iter, want 4 (blocking unit)", tp)
+	}
+}
+
+func TestMultiUopInstruction(t *testing.T) {
+	// An instruction with two µops on the same single port: 2 cycles each.
+	spec := InstSpec{
+		Uops: []UopSpec{
+			{Ports: portmap.MakePortSet(0), Block: 1},
+			{Ports: portmap.MakePortSet(0), Block: 1},
+		},
+		Latency: 1,
+	}
+	m := mustMachine(t, testConfig(), []InstSpec{spec})
+	body := []Inst{{Spec: 0, Writes: []int{1}}}
+	tp, err := m.SteadyStateCycles(body, 10, 50)
+	if err != nil {
+		t.Fatalf("SteadyStateCycles: %v", err)
+	}
+	if math.Abs(tp-2) > 0.05 {
+		t.Errorf("steady state = %g cycles/iter, want 2", tp)
+	}
+}
+
+func TestDispatchWidthLimits(t *testing.T) {
+	// 6 independent single-µop instructions on 3 ports would need 2
+	// cycles/iter, but dispatch width 1 forces 6 cycles/iter.
+	cfg := testConfig()
+	cfg.DispatchWidth = 1
+	m := mustMachine(t, cfg, []InstSpec{simpleSpec(1, 0, 1, 2)})
+	var body []Inst
+	for i := 0; i < 6; i++ {
+		body = append(body, Inst{Spec: 0, Writes: []int{10 + i}})
+	}
+	tp, err := m.SteadyStateCycles(body, 10, 50)
+	if err != nil {
+		t.Fatalf("SteadyStateCycles: %v", err)
+	}
+	if math.Abs(tp-6) > 0.1 {
+		t.Errorf("steady state = %g cycles/iter, want 6 (dispatch-bound)", tp)
+	}
+}
+
+func TestWindowSizeLimitsLatencyHiding(t *testing.T) {
+	// One long chain plus many independent instructions: with a tiny
+	// window the machine cannot look far enough ahead to fill ports,
+	// so throughput degrades vs a large window.
+	mkBody := func() []Inst {
+		body := []Inst{{Spec: 1, Reads: []int{1}, Writes: []int{1}}}
+		for i := 0; i < 40; i++ {
+			body = append(body, Inst{Spec: 0, Writes: []int{20 + i}})
+		}
+		return body
+	}
+	specs := []InstSpec{
+		simpleSpec(1, 0, 1, 2),
+		{Uops: []UopSpec{{Ports: portmap.MakePortSet(0), Block: 1}}, Latency: 12},
+	}
+
+	big := testConfig()
+	big.WindowSize = 64
+	mBig := mustMachine(t, big, specs)
+	tpBig, err := mBig.SteadyStateCycles(mkBody(), 20, 100)
+	if err != nil {
+		t.Fatalf("big: %v", err)
+	}
+
+	small := testConfig()
+	small.WindowSize = 2
+	mSmall := mustMachine(t, small, specs)
+	tpSmall, err := mSmall.SteadyStateCycles(mkBody(), 20, 100)
+	if err != nil {
+		t.Fatalf("small: %v", err)
+	}
+	// Big window: bound by port pressure, ~41 µops / 3 ports ≈ 14 c/iter.
+	// Small window: the stalled chain µop occupies one of two slots for
+	// 12 cycles each iteration, serializing the independent work.
+	if tpSmall <= tpBig+4 {
+		t.Errorf("small window %g should be clearly slower than big window %g", tpSmall, tpBig)
+	}
+}
+
+func TestGreedyMatchesLPForSimpleMixes(t *testing.T) {
+	// For a dependency-free mix the greedy scheduler should track the
+	// optimal throughput closely (within ~10%): this is the premise of
+	// using the LP model for measured data (Figure 6, short experiments).
+	specs := []InstSpec{
+		simpleSpec(1, 0),    // only P0
+		simpleSpec(1, 0, 1), // P0 or P1
+		simpleSpec(1, 2),    // only P2
+	}
+	m := mustMachine(t, testConfig(), specs)
+	body := []Inst{
+		{Spec: 0, Writes: []int{1}},
+		{Spec: 1, Writes: []int{2}},
+		{Spec: 1, Writes: []int{3}},
+		{Spec: 2, Writes: []int{4}},
+	}
+	tp, err := m.SteadyStateCycles(body, 20, 200)
+	if err != nil {
+		t.Fatalf("SteadyStateCycles: %v", err)
+	}
+	// Optimal (LP): masses p0:1, p01:2, p2:1 → Q={P0,P1}: 3/2 = 1.5.
+	if tp < 1.5-1e-9 {
+		t.Errorf("greedy throughput %g beats LP optimum 1.5: impossible", tp)
+	}
+	if tp > 1.5*1.10 {
+		t.Errorf("greedy throughput %g more than 10%% above optimum 1.5", tp)
+	}
+}
+
+func TestSteadyStateRequiresPositiveMeasure(t *testing.T) {
+	m := mustMachine(t, testConfig(), []InstSpec{simpleSpec(1, 0)})
+	if _, err := m.SteadyStateCycles([]Inst{{Spec: 0}}, 1, 0); err == nil {
+		t.Error("measure=0 accepted")
+	}
+}
+
+func TestLoopCarriedDependency(t *testing.T) {
+	// Writes in iteration i are read in iteration i+1: the chain spans
+	// iterations, so throughput equals the latency even though each
+	// iteration's instructions are "independent" within the body.
+	m := mustMachine(t, testConfig(), []InstSpec{simpleSpec(5, 0, 1, 2)})
+	body := []Inst{{Spec: 0, Reads: []int{7}, Writes: []int{7}}}
+	tp, err := m.SteadyStateCycles(body, 10, 50)
+	if err != nil {
+		t.Fatalf("SteadyStateCycles: %v", err)
+	}
+	if math.Abs(tp-5) > 0.1 {
+		t.Errorf("steady state = %g, want 5 (loop-carried chain)", tp)
+	}
+}
+
+func TestWindowStatistics(t *testing.T) {
+	// A latency-12 loop-carried chain plus plenty of independent work:
+	// the 2-entry window stalls dispatch most cycles, the 64-entry
+	// window rarely.
+	specs := []InstSpec{
+		simpleSpec(1, 0, 1, 2),
+		{Uops: []UopSpec{{Ports: portmap.MakePortSet(0), Block: 1}}, Latency: 12},
+	}
+	body := []Inst{{Spec: 1, Reads: []int{1}, Writes: []int{1}}}
+	for i := 0; i < 20; i++ {
+		body = append(body, Inst{Spec: 0, Writes: []int{20 + i}})
+	}
+
+	small := testConfig()
+	small.WindowSize = 2
+	mSmall := mustMachine(t, small, specs)
+	rSmall, err := mSmall.Run(body, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := testConfig()
+	big.WindowSize = 64
+	mBig := mustMachine(t, big, specs)
+	rBig, err := mBig.Run(body, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rSmall.WindowFullFraction() <= rBig.WindowFullFraction() {
+		t.Errorf("small window stall fraction %.2f should exceed big window %.2f",
+			rSmall.WindowFullFraction(), rBig.WindowFullFraction())
+	}
+	if rSmall.MeanOccupancy() > 2 {
+		t.Errorf("mean occupancy %.2f exceeds window size 2", rSmall.MeanOccupancy())
+	}
+	if rBig.MeanOccupancy() <= 0 {
+		t.Error("big window occupancy should be positive")
+	}
+	// Empty result accessors.
+	var zero Result
+	if zero.MeanOccupancy() != 0 || zero.WindowFullFraction() != 0 {
+		t.Error("zero-value result accessors should return 0")
+	}
+}
+
+func TestMachineAccessors(t *testing.T) {
+	specs := []InstSpec{simpleSpec(1, 0), simpleSpec(2, 1)}
+	m := mustMachine(t, testConfig(), specs)
+	if m.NumSpecs() != 2 {
+		t.Errorf("NumSpecs = %d, want 2", m.NumSpecs())
+	}
+	if m.Config().NumPorts != 3 {
+		t.Errorf("Config().NumPorts = %d, want 3", m.Config().NumPorts)
+	}
+}

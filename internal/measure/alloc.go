@@ -1,0 +1,279 @@
+// Package measure implements the throughput measurement methodology of
+// paper §4.2: instruction forms are instantiated with concrete operands
+// by a register allocator that avoids data dependencies, the sequence is
+// unrolled into a loop body of ~50 instructions, and the loop is run to a
+// steady state whose cycles-per-iteration give the throughput
+// (Definition 1).
+//
+// In the paper, the loop is emitted as C-with-inline-assembly, compiled,
+// and timed with gettimeofday on real hardware. Here the loop runs on the
+// cycle-level simulator of internal/machine, with a configurable noise
+// model standing in for clock jitter; the C emitter is retained (EmitC)
+// to document and test the code-generation scheme.
+package measure
+
+import (
+	"fmt"
+
+	"pmevo/internal/isa"
+	"pmevo/internal/machine"
+)
+
+// Register ID space: each register class gets a disjoint ID range so the
+// simulator's dependency tracking can mix classes freely.
+const (
+	gprBase   = 0
+	vecBase   = 1000
+	fprBase   = 2000
+	memBase   = 3000 // pseudo-registers modeling distinct memory offsets
+	basePtrID = 4000 // the memory base pointer (never written)
+)
+
+// PoolSizes configures how many architectural registers the allocator
+// may use per class. Using many registers maximizes dependency distance
+// (§4.2: "Using as many different registers as available").
+type PoolSizes struct {
+	GPR int
+	Vec int
+	FPR int
+	// MemOffsets is the number of distinct constant offsets used to
+	// instantiate memory operands without aliasing.
+	MemOffsets int
+}
+
+// DefaultPoolSizes returns realistic pool sizes for the given ISA:
+// x86-64 has 16 GPRs and 16 vector registers (minus stack/base pointers
+// and scratch), ARMv8-A has 31 GPRs and 32 vector registers.
+func DefaultPoolSizes(a *isa.ISA) PoolSizes {
+	if a.Name == "ARMv8-A" {
+		return PoolSizes{GPR: 26, Vec: 30, FPR: 30, MemOffsets: 8}
+	}
+	return PoolSizes{GPR: 12, Vec: 14, FPR: 14, MemOffsets: 8}
+}
+
+// Operand is a concrete operand produced by the allocator.
+type Operand struct {
+	// Kind mirrors the form's operand kind.
+	Kind isa.OperandKind
+	// Reg is the architectural register index within its class pool
+	// (for KindReg), or the base pointer for KindMem.
+	Reg int
+	// Class is the register class of Reg.
+	Class isa.RegClass
+	// Offset is the memory offset index (for KindMem).
+	Offset int
+	// Imm is the immediate value (for KindImm).
+	Imm int64
+}
+
+// Inst is an instruction instance with concrete operands.
+type Inst struct {
+	Form     *isa.Form
+	Operands []Operand
+}
+
+// Allocator assigns registers to instruction form operands while
+// avoiding read-after-write dependencies (§4.2):
+//
+//   - read operands get the least recently written register, so any
+//     pending write to it lies as far in the past as possible;
+//   - written operands get the most recently read register, whose value
+//     has already been consumed and which readers will now avoid.
+//
+// Memory operands use a dedicated base pointer plus rotating constant
+// offsets so consecutive memory accesses touch distinct addresses.
+type Allocator struct {
+	sizes PoolSizes
+	pools map[isa.RegClass]*regPool
+	clock int
+	mem   int // next memory offset (rotating)
+}
+
+type regPool struct {
+	n         int
+	lastRead  []int
+	lastWrite []int
+}
+
+func newRegPool(n int) *regPool {
+	p := &regPool{n: n, lastRead: make([]int, n), lastWrite: make([]int, n)}
+	for i := range p.lastRead {
+		p.lastRead[i] = -1
+		p.lastWrite[i] = -1
+	}
+	return p
+}
+
+// NewAllocator creates an allocator with the given pool sizes.
+func NewAllocator(sizes PoolSizes) (*Allocator, error) {
+	if sizes.GPR < 2 || sizes.Vec < 2 || sizes.FPR < 2 {
+		return nil, fmt.Errorf("measure: register pools too small: %+v", sizes)
+	}
+	if sizes.MemOffsets < 1 {
+		return nil, fmt.Errorf("measure: need at least one memory offset")
+	}
+	return &Allocator{
+		sizes: sizes,
+		pools: map[isa.RegClass]*regPool{
+			isa.ClassGPR: newRegPool(sizes.GPR),
+			isa.ClassVec: newRegPool(sizes.Vec),
+			isa.ClassFPR: newRegPool(sizes.FPR),
+		},
+	}, nil
+}
+
+// pickRead selects a register for a read (or read-write) operand:
+// the least recently written register, ties broken by the least recently
+// read one, excluding registers already used by this instruction.
+func (a *Allocator) pickRead(p *regPool, used map[int]bool) int {
+	best := -1
+	for r := 0; r < p.n; r++ {
+		if used[r] {
+			continue
+		}
+		if best < 0 ||
+			p.lastWrite[r] < p.lastWrite[best] ||
+			(p.lastWrite[r] == p.lastWrite[best] && p.lastRead[r] < p.lastRead[best]) {
+			best = r
+		}
+	}
+	return best
+}
+
+// pickWrite selects a register for a write-only operand: the most
+// recently read register, ties broken by the least recently written one.
+func (a *Allocator) pickWrite(p *regPool, used map[int]bool) int {
+	best := -1
+	for r := 0; r < p.n; r++ {
+		if used[r] {
+			continue
+		}
+		if best < 0 ||
+			p.lastRead[r] > p.lastRead[best] ||
+			(p.lastRead[r] == p.lastRead[best] && p.lastWrite[r] < p.lastWrite[best]) {
+			best = r
+		}
+	}
+	return best
+}
+
+// Instantiate assigns concrete operands to one instruction form.
+func (a *Allocator) Instantiate(f *isa.Form) (Inst, error) {
+	a.clock++
+	now := a.clock
+	inst := Inst{Form: f, Operands: make([]Operand, len(f.Operands))}
+	usedPerClass := map[isa.RegClass]map[int]bool{}
+	usedIn := func(c isa.RegClass) map[int]bool {
+		if usedPerClass[c] == nil {
+			usedPerClass[c] = make(map[int]bool)
+		}
+		return usedPerClass[c]
+	}
+
+	for i, op := range f.Operands {
+		switch op.Kind {
+		case isa.KindImm:
+			inst.Operands[i] = Operand{Kind: isa.KindImm, Imm: int64(1 + i)}
+		case isa.KindMem:
+			off := a.mem
+			a.mem = (a.mem + 1) % a.sizes.MemOffsets
+			inst.Operands[i] = Operand{
+				Kind:   isa.KindMem,
+				Class:  isa.ClassGPR,
+				Reg:    0, // the dedicated base pointer
+				Offset: off,
+			}
+		case isa.KindReg:
+			pool, ok := a.pools[op.Class]
+			if !ok {
+				return Inst{}, fmt.Errorf("measure: no pool for register class %v", op.Class)
+			}
+			used := usedIn(op.Class)
+			var r int
+			if op.Read {
+				r = a.pickRead(pool, used)
+			} else {
+				r = a.pickWrite(pool, used)
+			}
+			if r < 0 {
+				return Inst{}, fmt.Errorf("measure: register pool %v exhausted for %s",
+					op.Class, f.Name())
+			}
+			used[r] = true
+			if op.Read {
+				pool.lastRead[r] = now
+			}
+			if op.Write {
+				pool.lastWrite[r] = now
+			}
+			inst.Operands[i] = Operand{Kind: isa.KindReg, Class: op.Class, Reg: r}
+		}
+	}
+	return inst, nil
+}
+
+// InstantiateSequence allocates operands for a whole instruction
+// sequence in order.
+func (a *Allocator) InstantiateSequence(seq []*isa.Form) ([]Inst, error) {
+	out := make([]Inst, 0, len(seq))
+	for _, f := range seq {
+		inst, err := a.Instantiate(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, inst)
+	}
+	return out, nil
+}
+
+// regID maps a concrete register to its simulator dependency-tracking ID.
+func regID(class isa.RegClass, reg int) int {
+	switch class {
+	case isa.ClassVec:
+		return vecBase + reg
+	case isa.ClassFPR:
+		return fprBase + reg
+	default:
+		return gprBase + reg
+	}
+}
+
+// ToMachineInst lowers a concrete instruction to the simulator's
+// representation: register reads/writes including memory pseudo-
+// registers (loads read, stores write the pseudo-register of their
+// offset) and the base pointer.
+func ToMachineInst(in Inst) machine.Inst {
+	mi := machine.Inst{Spec: in.Form.ID}
+	for i, op := range in.Operands {
+		spec := in.Form.Operands[i]
+		switch op.Kind {
+		case isa.KindReg:
+			id := regID(op.Class, op.Reg)
+			if spec.Read {
+				mi.Reads = append(mi.Reads, id)
+			}
+			if spec.Write {
+				mi.Writes = append(mi.Writes, id)
+			}
+		case isa.KindMem:
+			mi.Reads = append(mi.Reads, basePtrID)
+			pseudo := memBase + op.Offset
+			if spec.Read {
+				mi.Reads = append(mi.Reads, pseudo)
+			}
+			if spec.Write {
+				mi.Writes = append(mi.Writes, pseudo)
+			}
+		}
+	}
+	return mi
+}
+
+// ToMachineInsts lowers a sequence.
+func ToMachineInsts(seq []Inst) []machine.Inst {
+	out := make([]machine.Inst, len(seq))
+	for i, in := range seq {
+		out[i] = ToMachineInst(in)
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package portmap
+
+import (
+	"testing"
+)
+
+// FuzzParsePortSet checks that the parser never panics and that
+// anything it accepts round-trips through both renderings.
+func FuzzParsePortSet(f *testing.F) {
+	for _, seed := range []string{"{}", "p-", "{P0}", "p015", "p0[12]", "{P0,P63}", "px", "{P", "p[9", ""} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		ps, err := ParsePortSet(s)
+		if err != nil {
+			return
+		}
+		for _, text := range []string{ps.String(), ps.CompactName()} {
+			back, err := ParsePortSet(text)
+			if err != nil {
+				t.Fatalf("render of %q (%s) unparseable: %v", s, text, err)
+			}
+			if back != ps {
+				t.Fatalf("round trip of %q changed: %s vs %s", s, back, ps)
+			}
+		}
+	})
+}
+
+// FuzzMappingJSON checks that the JSON decoder never panics and that
+// accepted mappings survive a re-encode round trip.
+func FuzzMappingJSON(f *testing.F) {
+	f.Add([]byte(`{"num_ports":3,"instructions":[{"name":"add","uops":[{"ports":"p01","count":1}]}]}`))
+	f.Add([]byte(`{"num_ports":0}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Mapping
+		if err := m.UnmarshalJSON(data); err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			return // decodable but invalid mappings are rejected upstream
+		}
+		enc, err := m.MarshalJSON()
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		var back Mapping
+		if err := back.UnmarshalJSON(enc); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !m.Equal(&back) {
+			t.Fatal("JSON round trip changed the mapping")
+		}
+	})
+}

@@ -1,0 +1,89 @@
+package portmap
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonMapping is the serialized form of a Mapping. µops are stored in
+// the compact "p015" notation for readability.
+type jsonMapping struct {
+	NumPorts  int        `json:"num_ports"`
+	PortNames []string   `json:"port_names,omitempty"`
+	Insts     []jsonInst `json:"instructions"`
+}
+
+type jsonInst struct {
+	Name string    `json:"name"`
+	Uops []jsonUop `json:"uops"`
+}
+
+type jsonUop struct {
+	Ports string `json:"ports"`
+	Count int    `json:"count"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (m *Mapping) MarshalJSON() ([]byte, error) {
+	jm := jsonMapping{
+		NumPorts:  m.NumPorts,
+		PortNames: m.PortNames,
+		Insts:     make([]jsonInst, len(m.Decomp)),
+	}
+	for i, uops := range m.Decomp {
+		ji := jsonInst{Name: m.instName(i), Uops: make([]jsonUop, len(uops))}
+		for j, uc := range uops {
+			ji.Uops[j] = jsonUop{Ports: uc.Ports.CompactName(), Count: uc.Count}
+		}
+		jm.Insts[i] = ji
+	}
+	return json.Marshal(jm)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (m *Mapping) UnmarshalJSON(data []byte) error {
+	var jm jsonMapping
+	if err := json.Unmarshal(data, &jm); err != nil {
+		return err
+	}
+	if jm.NumPorts <= 0 || jm.NumPorts > MaxPorts {
+		return fmt.Errorf("portmap: invalid port count %d in JSON", jm.NumPorts)
+	}
+	m.NumPorts = jm.NumPorts
+	m.PortNames = jm.PortNames
+	m.Decomp = make([][]UopCount, len(jm.Insts))
+	m.InstNames = make([]string, len(jm.Insts))
+	for i, ji := range jm.Insts {
+		m.InstNames[i] = ji.Name
+		uops := make([]UopCount, 0, len(ji.Uops))
+		for _, ju := range ji.Uops {
+			ps, err := ParsePortSet(ju.Ports)
+			if err != nil {
+				return fmt.Errorf("portmap: instruction %q: %v", ji.Name, err)
+			}
+			uops = append(uops, UopCount{Ports: ps, Count: ju.Count})
+		}
+		m.Decomp[i] = canonicalizeUops(uops)
+	}
+	return nil
+}
+
+// WriteJSON writes the mapping as indented JSON.
+func (m *Mapping) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// ReadJSON parses a mapping from JSON.
+func ReadJSON(r io.Reader) (*Mapping, error) {
+	var m Mapping
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

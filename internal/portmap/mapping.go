@@ -1,0 +1,377 @@
+package portmap
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// UopCount is one edge bundle of the three-level mapping: n instances of
+// the µop identified by the port set Ports in an instruction's
+// decomposition (a labeled edge (i, n, u) ∈ N in Definition 4).
+type UopCount struct {
+	Ports PortSet
+	Count int
+}
+
+// Experiment is a multiset of instructions, the input of the throughput
+// model (Definition 3). Instructions are identified by their dense index
+// in the ISA under test. Multiple terms with the same instruction are
+// allowed and are summed.
+type Experiment []InstCount
+
+// InstCount is one term of an experiment multiset.
+type InstCount struct {
+	Inst  int
+	Count int
+}
+
+// TotalCount returns the total number of instruction instances
+// (the "length" of the experiment in the paper's terminology).
+func (e Experiment) TotalCount() int {
+	n := 0
+	for _, t := range e {
+		n += t.Count
+	}
+	return n
+}
+
+// Clone returns a deep copy of the experiment.
+func (e Experiment) Clone() Experiment {
+	return append(Experiment(nil), e...)
+}
+
+// Normalize returns an equivalent experiment with terms merged by
+// instruction, zero-count terms dropped, and terms sorted by instruction
+// index. Normalize is used to produce canonical keys for experiment sets.
+func (e Experiment) Normalize() Experiment {
+	counts := make(map[int]int, len(e))
+	for _, t := range e {
+		counts[t.Inst] += t.Count
+	}
+	out := make(Experiment, 0, len(counts))
+	for inst, c := range counts {
+		if c != 0 {
+			out = append(out, InstCount{Inst: inst, Count: c})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Inst < out[j].Inst })
+	return out
+}
+
+// Key returns a canonical string key for the experiment multiset,
+// independent of term order.
+func (e Experiment) Key() string {
+	n := e.Normalize()
+	parts := make([]string, len(n))
+	for i, t := range n {
+		parts[i] = fmt.Sprintf("%d:%d", t.Inst, t.Count)
+	}
+	return strings.Join(parts, ",")
+}
+
+// MassTerm is a µop mass in the two-level model: Mass units of work that
+// must be distributed over the ports in Ports. The slice of MassTerms for
+// an experiment is the input of both throughput engines.
+type MassTerm struct {
+	Ports PortSet
+	Mass  float64
+}
+
+// Mapping is a port mapping in the three-level model (Definition 4).
+// Each instruction of the ISA under test decomposes into a multiset of
+// µops; each µop is identified with the set of ports that can execute it
+// (§4.4). A two-level mapping (Definition 2) is the special case where
+// every instruction has exactly one µop with count 1.
+type Mapping struct {
+	// NumPorts is |P|, the number of execution ports.
+	NumPorts int
+	// Decomp maps each instruction index to its µop decomposition.
+	// The inner slices are sorted by port set for canonical form.
+	Decomp [][]UopCount
+	// InstNames optionally names the instructions for rendering and
+	// serialization; if nil, instructions render as "I<n>".
+	InstNames []string
+	// PortNames optionally names the ports; if nil, ports render as
+	// "P<n>".
+	PortNames []string
+}
+
+// NewMapping creates a mapping for numInsts instructions over numPorts
+// ports with empty decompositions. Decompositions must be populated with
+// SetDecomp before the mapping is valid.
+func NewMapping(numInsts, numPorts int) *Mapping {
+	if numPorts <= 0 || numPorts > MaxPorts {
+		panic(fmt.Sprintf("portmap: invalid port count %d", numPorts))
+	}
+	return &Mapping{
+		NumPorts: numPorts,
+		Decomp:   make([][]UopCount, numInsts),
+	}
+}
+
+// NumInsts returns the number of instructions covered by the mapping.
+func (m *Mapping) NumInsts() int { return len(m.Decomp) }
+
+// SetDecomp replaces the decomposition of instruction i. The µops are
+// merged by port set, zero counts dropped, and sorted canonically.
+func (m *Mapping) SetDecomp(inst int, uops []UopCount) {
+	m.Decomp[inst] = canonicalizeUops(uops)
+}
+
+// AddUop adds n instances of µop u to instruction i's decomposition.
+func (m *Mapping) AddUop(inst int, u PortSet, n int) {
+	m.Decomp[inst] = canonicalizeUops(append(m.Decomp[inst], UopCount{Ports: u, Count: n}))
+}
+
+func canonicalizeUops(uops []UopCount) []UopCount {
+	merged := make(map[PortSet]int, len(uops))
+	for _, uc := range uops {
+		merged[uc.Ports] += uc.Count
+	}
+	out := make([]UopCount, 0, len(merged))
+	for ports, count := range merged {
+		if count > 0 {
+			out = append(out, UopCount{Ports: ports, Count: count})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Ports < out[j].Ports })
+	return out
+}
+
+// Validate checks structural invariants: every instruction has a
+// non-empty decomposition, every µop has at least one port within range,
+// and counts are positive.
+func (m *Mapping) Validate() error {
+	if m.NumPorts <= 0 || m.NumPorts > MaxPorts {
+		return fmt.Errorf("portmap: invalid port count %d", m.NumPorts)
+	}
+	all := FullPortSet(m.NumPorts)
+	for i, uops := range m.Decomp {
+		if len(uops) == 0 {
+			return fmt.Errorf("portmap: instruction %s has no µops", m.instName(i))
+		}
+		for _, uc := range uops {
+			if uc.Ports.IsEmpty() {
+				return fmt.Errorf("portmap: instruction %s has a µop with no ports", m.instName(i))
+			}
+			if !uc.Ports.SubsetOf(all) {
+				return fmt.Errorf("portmap: instruction %s uses ports outside 0..%d: %s",
+					m.instName(i), m.NumPorts-1, uc.Ports)
+			}
+			if uc.Count <= 0 {
+				return fmt.Errorf("portmap: instruction %s has non-positive µop count %d",
+					m.instName(i), uc.Count)
+			}
+		}
+	}
+	return nil
+}
+
+func (m *Mapping) instName(i int) string {
+	if m.InstNames != nil && i < len(m.InstNames) {
+		return m.InstNames[i]
+	}
+	return fmt.Sprintf("I%d", i)
+}
+
+func (m *Mapping) portName(k int) string {
+	if m.PortNames != nil && k < len(m.PortNames) {
+		return m.PortNames[k]
+	}
+	return fmt.Sprintf("P%d", k)
+}
+
+// Clone returns a deep copy of the mapping (names are shared; they are
+// immutable by convention).
+func (m *Mapping) Clone() *Mapping {
+	cp := &Mapping{
+		NumPorts:  m.NumPorts,
+		Decomp:    make([][]UopCount, len(m.Decomp)),
+		InstNames: m.InstNames,
+		PortNames: m.PortNames,
+	}
+	for i, uops := range m.Decomp {
+		cp.Decomp[i] = append([]UopCount(nil), uops...)
+	}
+	return cp
+}
+
+// Equal reports whether the two mappings have identical structure
+// (port count and canonical decompositions; names are ignored).
+func (m *Mapping) Equal(o *Mapping) bool {
+	if m.NumPorts != o.NumPorts || len(m.Decomp) != len(o.Decomp) {
+		return false
+	}
+	for i := range m.Decomp {
+		a, b := m.Decomp[i], o.Decomp[i]
+		if len(a) != len(b) {
+			return false
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsTwoLevel reports whether the mapping is expressible in the two-level
+// model: each instruction has exactly one µop with count 1.
+func (m *Mapping) IsTwoLevel() bool {
+	for _, uops := range m.Decomp {
+		if len(uops) != 1 || uops[0].Count != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// TwoLevelFromPorts builds a two-level mapping: instruction i can execute
+// on exactly the ports in ports[i], as a single µop.
+func TwoLevelFromPorts(numPorts int, ports []PortSet) *Mapping {
+	m := NewMapping(len(ports), numPorts)
+	for i, p := range ports {
+		m.Decomp[i] = []UopCount{{Ports: p, Count: 1}}
+	}
+	return m
+}
+
+// Volume returns the µop volume V(m) = Σ_(i,n,u) n·|u| over all
+// instructions (§4.4). A smaller volume indicates a more compact and
+// interpretable mapping.
+func (m *Mapping) Volume() int {
+	v := 0
+	for _, uops := range m.Decomp {
+		for _, uc := range uops {
+			v += uc.Count * uc.Ports.Count()
+		}
+	}
+	return v
+}
+
+// VolumeOf returns the µop volume restricted to the given instructions.
+func (m *Mapping) VolumeOf(insts []int) int {
+	v := 0
+	for _, i := range insts {
+		for _, uc := range m.Decomp[i] {
+			v += uc.Count * uc.Ports.Count()
+		}
+	}
+	return v
+}
+
+// DistinctUops returns the sorted set of distinct µops (port sets) used
+// anywhere in the mapping. Table 2 reports its size.
+func (m *Mapping) DistinctUops() []PortSet {
+	seen := make(map[PortSet]bool)
+	for _, uops := range m.Decomp {
+		for _, uc := range uops {
+			seen[uc.Ports] = true
+		}
+	}
+	out := make([]PortSet, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// UopCountOf returns the total number of µop instances in instruction
+// i's decomposition (Σ n over its edges).
+func (m *Mapping) UopCountOf(inst int) int {
+	n := 0
+	for _, uc := range m.Decomp[inst] {
+		n += uc.Count
+	}
+	return n
+}
+
+// Flatten reduces the three-level throughput problem for experiment e to
+// the two-level model (§3.2): it returns the µop masses e'(u) =
+// Σ_(i,n,u) e(i)·n, grouped by µop. The result is the input for the
+// throughput engines.
+func (m *Mapping) Flatten(e Experiment) []MassTerm {
+	return m.FlattenInto(nil, e)
+}
+
+// FlattenInto is Flatten appending into dst to avoid allocation in hot
+// loops. dst may be nil.
+func (m *Mapping) FlattenInto(dst []MassTerm, e Experiment) []MassTerm {
+	dst = dst[:0]
+	for _, t := range e {
+		if t.Count == 0 {
+			continue
+		}
+		for _, uc := range m.Decomp[t.Inst] {
+			mass := float64(t.Count * uc.Count)
+			// Linear scan: experiments have few distinct µops.
+			found := false
+			for j := range dst {
+				if dst[j].Ports == uc.Ports {
+					dst[j].Mass += mass
+					found = true
+					break
+				}
+			}
+			if !found {
+				dst = append(dst, MassTerm{Ports: uc.Ports, Mass: mass})
+			}
+		}
+	}
+	return dst
+}
+
+// String renders the mapping in a compact human-readable form, one
+// instruction per line:
+//
+//	add_r64_r64: 1*p015
+//	store_m64_r64: 1*p23 + 1*p4
+func (m *Mapping) String() string {
+	var b strings.Builder
+	for i, uops := range m.Decomp {
+		fmt.Fprintf(&b, "%s:", m.instName(i))
+		if len(uops) == 0 {
+			b.WriteString(" (none)")
+		}
+		for j, uc := range uops {
+			if j > 0 {
+				b.WriteString(" +")
+			}
+			fmt.Fprintf(&b, " %d*%s", uc.Count, uc.Ports.CompactName())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// PortUsageTable renders a port-by-instruction usage matrix similar to
+// uops.info's tables: for each instruction, which ports its µops may use.
+func (m *Mapping) PortUsageTable() string {
+	var b strings.Builder
+	b.WriteString("instruction")
+	for k := 0; k < m.NumPorts; k++ {
+		fmt.Fprintf(&b, "\t%s", m.portName(k))
+	}
+	b.WriteByte('\n')
+	for i, uops := range m.Decomp {
+		b.WriteString(m.instName(i))
+		for k := 0; k < m.NumPorts; k++ {
+			n := 0
+			for _, uc := range uops {
+				if uc.Ports.Has(k) {
+					n += uc.Count
+				}
+			}
+			if n == 0 {
+				b.WriteString("\t.")
+			} else {
+				fmt.Fprintf(&b, "\t%d", n)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

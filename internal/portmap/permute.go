@@ -1,0 +1,97 @@
+package portmap
+
+// Port identities are not observable from throughput measurements: any
+// permutation of the ports yields a mapping with identical predicted
+// throughput for every experiment. This file provides permutation
+// utilities so inferred mappings can be compared against references (the
+// evaluation uses them; the paper makes the same point in §4.4: found
+// mappings "are not necessarily identical to the port mappings that are
+// really used in the processor").
+
+// PermutePorts returns a copy of the mapping with port k renamed to
+// perm[k]. perm must be a permutation of 0..NumPorts-1.
+func (m *Mapping) PermutePorts(perm []int) *Mapping {
+	if len(perm) != m.NumPorts {
+		panic("portmap: permutation length mismatch")
+	}
+	seen := make([]bool, m.NumPorts)
+	for _, p := range perm {
+		if p < 0 || p >= m.NumPorts || seen[p] {
+			panic("portmap: not a permutation")
+		}
+		seen[p] = true
+	}
+	out := NewMapping(m.NumInsts(), m.NumPorts)
+	out.InstNames = m.InstNames
+	if m.PortNames != nil {
+		names := make([]string, m.NumPorts)
+		for k, name := range m.PortNames {
+			if k < m.NumPorts {
+				names[perm[k]] = name
+			}
+		}
+		out.PortNames = names
+	}
+	for i, uops := range m.Decomp {
+		mapped := make([]UopCount, len(uops))
+		for j, uc := range uops {
+			var ports PortSet
+			for _, k := range uc.Ports.Ports() {
+				ports = ports.With(perm[k])
+			}
+			mapped[j] = UopCount{Ports: ports, Count: uc.Count}
+		}
+		out.SetDecomp(i, mapped)
+	}
+	return out
+}
+
+// EquivalentUpToPermutation reports whether some renaming of b's ports
+// makes it structurally equal to a. It enumerates permutations and is
+// intended for mappings with at most ~8 ports (the evaluation machines);
+// it panics above 10 ports.
+func EquivalentUpToPermutation(a, b *Mapping) bool {
+	if a.NumPorts != b.NumPorts || a.NumInsts() != b.NumInsts() {
+		return false
+	}
+	if a.NumPorts > 10 {
+		panic("portmap: permutation search limited to 10 ports")
+	}
+	perm := make([]int, a.NumPorts)
+	used := make([]bool, a.NumPorts)
+	var try func(k int) bool
+	try = func(k int) bool {
+		if k == a.NumPorts {
+			return a.Equal(b.PermutePorts(perm))
+		}
+		for p := 0; p < a.NumPorts; p++ {
+			if used[p] {
+				continue
+			}
+			perm[k] = p
+			used[p] = true
+			if try(k + 1) {
+				used[p] = false
+				return true
+			}
+			used[p] = false
+		}
+		return false
+	}
+	return try(0)
+}
+
+// PortUsageSignature returns, per port, the total µop count that may use
+// it (an invariant under instruction order, useful as a quick
+// permutation-invariant fingerprint when sorted).
+func (m *Mapping) PortUsageSignature() []int {
+	sig := make([]int, m.NumPorts)
+	for _, uops := range m.Decomp {
+		for _, uc := range uops {
+			for _, k := range uc.Ports.Ports() {
+				sig[k] += uc.Count
+			}
+		}
+	}
+	return sig
+}

@@ -1,0 +1,106 @@
+package portmap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPermutePortsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(5)
+		m := Random(rng, RandomOptions{NumInsts: 5, NumPorts: n})
+		perm := rng.Perm(n)
+		inv := make([]int, n)
+		for i, p := range perm {
+			inv[p] = i
+		}
+		back := m.PermutePorts(perm).PermutePorts(inv)
+		if !m.Equal(back) {
+			t.Fatalf("trial %d: permute+inverse != identity", trial)
+		}
+	}
+}
+
+func TestPermutePortsPreservesThroughputStructure(t *testing.T) {
+	m := NewMapping(2, 3)
+	m.SetDecomp(0, []UopCount{{Ports: MakePortSet(0, 1), Count: 1}})
+	m.SetDecomp(1, []UopCount{{Ports: MakePortSet(2), Count: 2}})
+	p := m.PermutePorts([]int{2, 0, 1})
+	// Instruction 0's µop {P0,P1} → {P2,P0}; instruction 1's {P2} → {P1}.
+	if p.Decomp[0][0].Ports != MakePortSet(0, 2) {
+		t.Errorf("permuted inst 0 = %s", p.Decomp[0][0].Ports)
+	}
+	if p.Decomp[1][0].Ports != MakePortSet(1) || p.Decomp[1][0].Count != 2 {
+		t.Errorf("permuted inst 1 = %v", p.Decomp[1][0])
+	}
+}
+
+func TestPermutePortsMovesPortNames(t *testing.T) {
+	m := NewMapping(1, 3)
+	m.SetDecomp(0, []UopCount{{Ports: MakePortSet(0), Count: 1}})
+	m.PortNames = []string{"A", "B", "C"}
+	p := m.PermutePorts([]int{1, 2, 0})
+	if p.PortNames[1] != "A" || p.PortNames[2] != "B" || p.PortNames[0] != "C" {
+		t.Errorf("PortNames = %v", p.PortNames)
+	}
+}
+
+func TestPermutePortsValidation(t *testing.T) {
+	m := NewMapping(1, 3)
+	m.SetDecomp(0, []UopCount{{Ports: MakePortSet(0), Count: 1}})
+	for _, perm := range [][]int{
+		{0, 1},     // wrong length
+		{0, 0, 1},  // repeated
+		{0, 1, 5},  // out of range
+		{-1, 1, 2}, // negative
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("perm %v did not panic", perm)
+				}
+			}()
+			m.PermutePorts(perm)
+		}()
+	}
+}
+
+func TestEquivalentUpToPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(4)
+		a := Random(rng, RandomOptions{NumInsts: 4, NumPorts: n})
+		b := a.PermutePorts(rng.Perm(n))
+		if !EquivalentUpToPermutation(a, b) {
+			t.Fatalf("trial %d: permuted mapping not recognized as equivalent", trial)
+		}
+	}
+	// A structurally different mapping is not equivalent.
+	a := NewMapping(1, 2)
+	a.SetDecomp(0, []UopCount{{Ports: MakePortSet(0), Count: 1}})
+	b := NewMapping(1, 2)
+	b.SetDecomp(0, []UopCount{{Ports: MakePortSet(0, 1), Count: 1}})
+	if EquivalentUpToPermutation(a, b) {
+		t.Error("different mappings reported equivalent")
+	}
+	// Dimension mismatches.
+	c := NewMapping(1, 3)
+	c.SetDecomp(0, []UopCount{{Ports: MakePortSet(0), Count: 1}})
+	if EquivalentUpToPermutation(a, c) {
+		t.Error("different port counts reported equivalent")
+	}
+}
+
+func TestPortUsageSignature(t *testing.T) {
+	m := NewMapping(2, 3)
+	m.SetDecomp(0, []UopCount{{Ports: MakePortSet(0, 1), Count: 2}})
+	m.SetDecomp(1, []UopCount{{Ports: MakePortSet(1), Count: 3}})
+	sig := m.PortUsageSignature()
+	want := []int{2, 5, 0}
+	for i := range want {
+		if sig[i] != want[i] {
+			t.Fatalf("signature = %v, want %v", sig, want)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Package portmap defines port mappings in the two-level and three-level
+// models of the paper (§3.1, §3.2), µop decompositions, and the reduction
+// from the three-level to the two-level model.
+//
+// Following §4.4, a µop is identified with the set of ports that can
+// execute it: a three-level mapping assigns each instruction a multiset of
+// port sets. Port sets are represented as bitmasks over at most 64 ports.
+package portmap
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// MaxPorts is the maximum number of execution ports a mapping can model.
+// Real machines have at most ~10 (paper §4.5); 64 leaves ample room for
+// the Figure 8 port-count sweep.
+const MaxPorts = 64
+
+// PortSet is a set of execution ports, represented as a bitmask.
+// Port k is a member iff bit k is set. The empty set is invalid as a µop
+// (a µop must be executable somewhere) but valid as a neutral value.
+type PortSet uint64
+
+// SinglePort returns the set containing only port k.
+func SinglePort(k int) PortSet {
+	if k < 0 || k >= MaxPorts {
+		panic(fmt.Sprintf("portmap: port %d out of range", k))
+	}
+	return PortSet(1) << uint(k)
+}
+
+// MakePortSet returns the set containing exactly the given ports.
+func MakePortSet(ports ...int) PortSet {
+	var s PortSet
+	for _, k := range ports {
+		s |= SinglePort(k)
+	}
+	return s
+}
+
+// FullPortSet returns the set {0, ..., n-1}.
+func FullPortSet(n int) PortSet {
+	if n < 0 || n > MaxPorts {
+		panic(fmt.Sprintf("portmap: port count %d out of range", n))
+	}
+	if n == MaxPorts {
+		return ^PortSet(0)
+	}
+	return (PortSet(1) << uint(n)) - 1
+}
+
+// Has reports whether port k is in the set.
+func (s PortSet) Has(k int) bool { return s&SinglePort(k) != 0 }
+
+// With returns the set with port k added.
+func (s PortSet) With(k int) PortSet { return s | SinglePort(k) }
+
+// Without returns the set with port k removed.
+func (s PortSet) Without(k int) PortSet { return s &^ SinglePort(k) }
+
+// Union returns the union of the two sets.
+func (s PortSet) Union(t PortSet) PortSet { return s | t }
+
+// Intersect returns the intersection of the two sets.
+func (s PortSet) Intersect(t PortSet) PortSet { return s & t }
+
+// SubsetOf reports whether s ⊆ t.
+func (s PortSet) SubsetOf(t PortSet) bool { return s&^t == 0 }
+
+// IsEmpty reports whether the set has no ports.
+func (s PortSet) IsEmpty() bool { return s == 0 }
+
+// Count returns the number of ports in the set. In the paper's notation
+// this is the width |u| of the µop u (§4.4).
+func (s PortSet) Count() int { return bits.OnesCount64(uint64(s)) }
+
+// Ports returns the member ports in increasing order.
+func (s PortSet) Ports() []int {
+	out := make([]int, 0, s.Count())
+	for v := uint64(s); v != 0; {
+		k := bits.TrailingZeros64(v)
+		out = append(out, k)
+		v &= v - 1
+	}
+	return out
+}
+
+// Min returns the smallest member port, or -1 if the set is empty.
+func (s PortSet) Min() int {
+	if s == 0 {
+		return -1
+	}
+	return bits.TrailingZeros64(uint64(s))
+}
+
+// String renders the set like "{P0,P1,P5}".
+func (s PortSet) String() string {
+	if s == 0 {
+		return "{}"
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for _, k := range s.Ports() {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, "P%d", k)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// CompactName renders the set in uops.info style, e.g. "p015" for
+// {P0,P1,P5}. Ports ≥ 10 are rendered in brackets, e.g. "p0[12]".
+func (s PortSet) CompactName() string {
+	if s == 0 {
+		return "p-"
+	}
+	var b strings.Builder
+	b.WriteByte('p')
+	for _, k := range s.Ports() {
+		if k < 10 {
+			fmt.Fprintf(&b, "%d", k)
+		} else {
+			fmt.Fprintf(&b, "[%d]", k)
+		}
+	}
+	return b.String()
+}
+
+// ParsePortSet parses the String form "{P0,P1}" or the compact form
+// "p01". An empty set is written "{}" or "p-".
+func ParsePortSet(s string) (PortSet, error) {
+	orig := s
+	switch {
+	case s == "{}" || s == "p-":
+		return 0, nil
+	case strings.HasPrefix(s, "{") && strings.HasSuffix(s, "}"):
+		var out PortSet
+		for _, part := range strings.Split(s[1:len(s)-1], ",") {
+			part = strings.TrimSpace(part)
+			if !strings.HasPrefix(part, "P") {
+				return 0, fmt.Errorf("portmap: bad port %q in %q", part, orig)
+			}
+			var k int
+			if _, err := fmt.Sscanf(part, "P%d", &k); err != nil {
+				return 0, fmt.Errorf("portmap: bad port %q in %q", part, orig)
+			}
+			if k < 0 || k >= MaxPorts {
+				return 0, fmt.Errorf("portmap: port %d out of range in %q", k, orig)
+			}
+			out = out.With(k)
+		}
+		return out, nil
+	case strings.HasPrefix(s, "p"):
+		var out PortSet
+		rest := s[1:]
+		for len(rest) > 0 {
+			if rest[0] == '[' {
+				end := strings.IndexByte(rest, ']')
+				if end < 0 {
+					return 0, fmt.Errorf("portmap: unterminated bracket in %q", orig)
+				}
+				var k int
+				if _, err := fmt.Sscanf(rest[1:end], "%d", &k); err != nil || k < 0 || k >= MaxPorts {
+					return 0, fmt.Errorf("portmap: bad bracketed port in %q", orig)
+				}
+				out = out.With(k)
+				rest = rest[end+1:]
+			} else {
+				if rest[0] < '0' || rest[0] > '9' {
+					return 0, fmt.Errorf("portmap: bad character %q in %q", rest[0], orig)
+				}
+				out = out.With(int(rest[0] - '0'))
+				rest = rest[1:]
+			}
+		}
+		return out, nil
+	default:
+		return 0, fmt.Errorf("portmap: cannot parse port set %q", orig)
+	}
+}

@@ -1,0 +1,168 @@
+package portmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPortSetBasics(t *testing.T) {
+	s := MakePortSet(0, 2, 5)
+	if !s.Has(0) || !s.Has(2) || !s.Has(5) {
+		t.Error("missing expected members")
+	}
+	if s.Has(1) || s.Has(3) {
+		t.Error("unexpected members")
+	}
+	if s.Count() != 3 {
+		t.Errorf("Count = %d, want 3", s.Count())
+	}
+	got := s.Ports()
+	want := []int{0, 2, 5}
+	if len(got) != len(want) {
+		t.Fatalf("Ports() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ports() = %v, want %v", got, want)
+		}
+	}
+	if s.Min() != 0 {
+		t.Errorf("Min = %d, want 0", s.Min())
+	}
+	if PortSet(0).Min() != -1 {
+		t.Error("empty Min should be -1")
+	}
+}
+
+func TestPortSetWithWithout(t *testing.T) {
+	var s PortSet
+	s = s.With(3).With(7)
+	if s != MakePortSet(3, 7) {
+		t.Errorf("With chain = %s", s)
+	}
+	s = s.Without(3)
+	if s != MakePortSet(7) {
+		t.Errorf("Without = %s", s)
+	}
+	// Without of a non-member is a no-op.
+	if s.Without(5) != s {
+		t.Error("Without non-member changed the set")
+	}
+}
+
+func TestPortSetAlgebra(t *testing.T) {
+	a := MakePortSet(0, 1)
+	b := MakePortSet(1, 2)
+	if a.Union(b) != MakePortSet(0, 1, 2) {
+		t.Error("Union wrong")
+	}
+	if a.Intersect(b) != MakePortSet(1) {
+		t.Error("Intersect wrong")
+	}
+	if !a.SubsetOf(MakePortSet(0, 1, 2)) {
+		t.Error("SubsetOf should hold")
+	}
+	if a.SubsetOf(b) {
+		t.Error("SubsetOf should not hold")
+	}
+	if !PortSet(0).SubsetOf(a) {
+		t.Error("empty set is subset of everything")
+	}
+	if !PortSet(0).IsEmpty() || a.IsEmpty() {
+		t.Error("IsEmpty wrong")
+	}
+}
+
+func TestFullPortSet(t *testing.T) {
+	if FullPortSet(0) != 0 {
+		t.Error("FullPortSet(0) should be empty")
+	}
+	if FullPortSet(3) != MakePortSet(0, 1, 2) {
+		t.Error("FullPortSet(3) wrong")
+	}
+	if FullPortSet(64).Count() != 64 {
+		t.Error("FullPortSet(64) should have 64 members")
+	}
+}
+
+func TestSinglePortPanicsOutOfRange(t *testing.T) {
+	for _, k := range []int{-1, 64, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SinglePort(%d) did not panic", k)
+				}
+			}()
+			SinglePort(k)
+		}()
+	}
+}
+
+func TestPortSetString(t *testing.T) {
+	tests := []struct {
+		s       PortSet
+		str     string
+		compact string
+	}{
+		{0, "{}", "p-"},
+		{MakePortSet(0), "{P0}", "p0"},
+		{MakePortSet(0, 1, 5), "{P0,P1,P5}", "p015"},
+		{MakePortSet(0, 12), "{P0,P12}", "p0[12]"},
+	}
+	for _, tc := range tests {
+		if got := tc.s.String(); got != tc.str {
+			t.Errorf("String() = %q, want %q", got, tc.str)
+		}
+		if got := tc.s.CompactName(); got != tc.compact {
+			t.Errorf("CompactName() = %q, want %q", got, tc.compact)
+		}
+	}
+}
+
+func TestParsePortSetRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		s := PortSet(rng.Uint64()) & FullPortSet(16)
+		for _, text := range []string{s.String(), s.CompactName()} {
+			got, err := ParsePortSet(text)
+			if err != nil {
+				t.Fatalf("ParsePortSet(%q): %v", text, err)
+			}
+			if got != s {
+				t.Fatalf("ParsePortSet(%q) = %s, want %s", text, got, s)
+			}
+		}
+	}
+}
+
+func TestParsePortSetErrors(t *testing.T) {
+	bad := []string{"", "P0", "{P0", "{Q1}", "{P-1}", "pX", "p[", "p[99]", "{P100}"}
+	for _, s := range bad {
+		if _, err := ParsePortSet(s); err == nil {
+			t.Errorf("ParsePortSet(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestPortSetCountMatchesPorts(t *testing.T) {
+	f := func(raw uint64) bool {
+		s := PortSet(raw)
+		return s.Count() == len(s.Ports())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPortSetSubsetUnionProperty(t *testing.T) {
+	// For all a, b: a ⊆ a∪b and b ⊆ a∪b, and a∩b ⊆ a.
+	f := func(ra, rb uint64) bool {
+		a, b := PortSet(ra), PortSet(rb)
+		u := a.Union(b)
+		return a.SubsetOf(u) && b.SubsetOf(u) && a.Intersect(b).SubsetOf(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

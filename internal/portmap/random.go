@@ -1,0 +1,96 @@
+package portmap
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RandomOptions configures random mapping generation.
+type RandomOptions struct {
+	// NumInsts and NumPorts give the mapping dimensions.
+	NumInsts int
+	NumPorts int
+	// ThroughputHint optionally gives the measured individual throughput
+	// t*(i) per instruction. Per §4.4 (Initialization), the count for a
+	// µop u of instruction i is sampled from [1, ceil(t*(i)·|u|)]: an
+	// instruction with ceil(t·|u|) instances of u can achieve no
+	// throughput smaller than t. If nil, a hint of 1.0 is used.
+	ThroughputHint []float64
+	// MaxUops bounds the number of distinct µops sampled per instruction.
+	// Zero means |P| (the paper's choice).
+	MaxUops int
+}
+
+// Random samples a mapping uniformly following the paper's population
+// initialization (§4.4): for each instruction, a random set of 1..|P|
+// distinct µops is sampled; the count of each µop u is sampled from
+// [1, ceil(t*(i)·|u|)].
+func Random(rng *rand.Rand, opts RandomOptions) *Mapping {
+	m := NewMapping(opts.NumInsts, opts.NumPorts)
+	maxUops := opts.MaxUops
+	if maxUops <= 0 || maxUops > opts.NumPorts {
+		maxUops = opts.NumPorts
+	}
+	for i := 0; i < opts.NumInsts; i++ {
+		hint := 1.0
+		if opts.ThroughputHint != nil {
+			hint = opts.ThroughputHint[i]
+			if hint < 1 {
+				hint = 1
+			}
+		}
+		m.Decomp[i] = randomDecomp(rng, opts.NumPorts, maxUops, hint)
+	}
+	return m
+}
+
+// randomDecomp samples one instruction's decomposition.
+func randomDecomp(rng *rand.Rand, numPorts, maxUops int, tpHint float64) []UopCount {
+	nUops := 1 + rng.Intn(maxUops)
+	seen := make(map[PortSet]bool, nUops)
+	uops := make([]UopCount, 0, nUops)
+	for len(uops) < nUops {
+		u := RandomPortSet(rng, numPorts)
+		if seen[u] {
+			continue
+		}
+		seen[u] = true
+		bound := int(math.Ceil(tpHint * float64(u.Count())))
+		if bound < 1 {
+			bound = 1
+		}
+		uops = append(uops, UopCount{Ports: u, Count: 1 + rng.Intn(bound)})
+	}
+	return canonicalizeUops(uops)
+}
+
+// RandomPortSet samples a uniformly random non-empty subset of the ports
+// {0, ..., numPorts-1}.
+func RandomPortSet(rng *rand.Rand, numPorts int) PortSet {
+	if numPorts <= 0 || numPorts > MaxPorts {
+		panic("portmap: invalid port count")
+	}
+	for {
+		var s PortSet
+		if numPorts == 64 {
+			s = PortSet(rng.Uint64())
+		} else {
+			s = PortSet(rng.Uint64()) & FullPortSet(numPorts)
+		}
+		if !s.IsEmpty() {
+			return s
+		}
+	}
+}
+
+// RandomExperiment samples an experiment: a uniformly random multiset of
+// `length` instruction instances over numInsts instructions. This matches
+// the benchmark-set sampling of §5.3 ("sampled uniformly at random from
+// the set of all instruction multi-sets of size 5").
+func RandomExperiment(rng *rand.Rand, numInsts, length int) Experiment {
+	var e Experiment
+	for j := 0; j < length; j++ {
+		e = append(e, InstCount{Inst: rng.Intn(numInsts), Count: 1})
+	}
+	return e.Normalize()
+}

@@ -1,0 +1,204 @@
+package predictors
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pmevo/internal/isa"
+	"pmevo/internal/machine"
+	"pmevo/internal/measure"
+	"pmevo/internal/portmap"
+	"pmevo/internal/uarch"
+)
+
+// IthemalOptions configures the training of the learned baseline.
+type IthemalOptions struct {
+	// TrainingBlocks is the number of random basic blocks sampled.
+	TrainingBlocks int
+	// MaxBlockLen bounds the number of instructions per training block.
+	MaxBlockLen int
+	// Ridge is the L2 regularization strength of the regression.
+	Ridge float64
+	// Seed makes training reproducible.
+	Seed int64
+}
+
+// DefaultIthemalOptions returns a configuration that trains in well
+// under a second.
+func DefaultIthemalOptions() IthemalOptions {
+	return IthemalOptions{
+		TrainingBlocks: 1500,
+		MaxBlockLen:    8,
+		Ridge:          1e-3,
+		Seed:           1,
+	}
+}
+
+// ithemalPredictor is a linear regressor over per-class instruction
+// counts, standing in for the paper's LSTM network. Like the real
+// Ithemal, it is trained (supervised) on basic blocks extracted from
+// compiled programs, which are full of data dependencies; its
+// predictions therefore reflect latency chains rather than pure port
+// pressure, which is exactly why it fares poorly on PMEvo's
+// dependency-free experiments (§5.3.1).
+type ithemalPredictor struct {
+	classIdx map[string]int
+	isa      *isa.ISA
+	weights  []float64 // per class, plus bias as the last entry
+}
+
+// TrainIthemal trains the learned baseline on the given processor by
+// sampling random dependency-heavy basic blocks (small register pools
+// force chains, as in compiler output for sequential code), measuring
+// them on the simulated machine, and fitting a ridge regression of
+// cycles-per-block on per-class instruction counts.
+func TrainIthemal(proc *uarch.Processor, opts IthemalOptions) (Predictor, error) {
+	if opts.TrainingBlocks < 10 {
+		return nil, fmt.Errorf("ithemal: need at least 10 training blocks")
+	}
+	if opts.MaxBlockLen < 1 {
+		return nil, fmt.Errorf("ithemal: invalid block length")
+	}
+	mach, err := proc.Machine()
+	if err != nil {
+		return nil, err
+	}
+	classes := proc.ISA.Classes()
+	classIdx := make(map[string]int, len(classes))
+	for i, c := range classes {
+		classIdx[c] = i
+	}
+	nf := len(classes) + 1 // features + bias
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	// Tiny register pools create the dependency chains typical of
+	// compiled basic blocks.
+	pools := measure.PoolSizes{GPR: 4, Vec: 4, FPR: 4, MemOffsets: 2}
+
+	// Accumulate the normal equations X'X w = X'y.
+	xtx := make([][]float64, nf)
+	for i := range xtx {
+		xtx[i] = make([]float64, nf)
+	}
+	xty := make([]float64, nf)
+
+	feat := make([]float64, nf)
+	for b := 0; b < opts.TrainingBlocks; b++ {
+		blockLen := 2 + rng.Intn(opts.MaxBlockLen-1)
+		forms := make([]*isa.Form, blockLen)
+		for i := range forms {
+			forms[i] = proc.ISA.Form(rng.Intn(proc.ISA.NumForms()))
+		}
+		alloc, err := measure.NewAllocator(pools)
+		if err != nil {
+			return nil, err
+		}
+		insts, err := alloc.InstantiateSequence(forms)
+		if err != nil {
+			return nil, err
+		}
+		body := measure.ToMachineInsts(insts)
+		cycles, err := steadyCycles(mach, body)
+		if err != nil {
+			return nil, err
+		}
+
+		for i := range feat {
+			feat[i] = 0
+		}
+		for _, f := range forms {
+			feat[classIdx[f.Class]]++
+		}
+		feat[nf-1] = 1 // bias
+		for i := 0; i < nf; i++ {
+			if feat[i] == 0 {
+				continue
+			}
+			for j := 0; j < nf; j++ {
+				xtx[i][j] += feat[i] * feat[j]
+			}
+			xty[i] += feat[i] * cycles
+		}
+	}
+	for i := 0; i < nf; i++ {
+		xtx[i][i] += opts.Ridge
+	}
+	w, err := solveLinearSystem(xtx, xty)
+	if err != nil {
+		return nil, fmt.Errorf("ithemal: training failed: %w", err)
+	}
+	return &ithemalPredictor{classIdx: classIdx, isa: proc.ISA, weights: w}, nil
+}
+
+func steadyCycles(mach *machine.Machine, body []machine.Inst) (float64, error) {
+	return mach.SteadyStateCycles(body, 10, 40)
+}
+
+func (p *ithemalPredictor) Name() string { return "Ithemal" }
+
+func (p *ithemalPredictor) Predict(e portmap.Experiment) (float64, error) {
+	nf := len(p.weights)
+	feat := make([]float64, nf)
+	for _, t := range e {
+		if t.Inst < 0 || t.Inst >= p.isa.NumForms() {
+			return 0, fmt.Errorf("ithemal: instruction %d out of range", t.Inst)
+		}
+		feat[p.classIdx[p.isa.Form(t.Inst).Class]] += float64(t.Count)
+	}
+	feat[nf-1] = 1
+	pred := 0.0
+	for i, w := range p.weights {
+		pred += w * feat[i]
+	}
+	if pred < 0.05 {
+		pred = 0.05 // throughputs are positive; clamp degenerate outputs
+	}
+	return pred, nil
+}
+
+// solveLinearSystem solves Ax = b by Gaussian elimination with partial
+// pivoting. A is modified in place.
+func solveLinearSystem(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	x := append([]float64(nil), b...)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if abs(a[r][col]) > abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if abs(a[piv][col]) < 1e-12 {
+			return nil, fmt.Errorf("singular system at column %d", col)
+		}
+		a[col], a[piv] = a[piv], a[col]
+		x[col], x[piv] = x[piv], x[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	for col := n - 1; col >= 0; col-- {
+		sum := x[col]
+		for c := col + 1; c < n; c++ {
+			sum -= a[col][c] * x[c]
+		}
+		x[col] = sum / a[col][col]
+	}
+	return x, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,262 @@
+// Package stats provides the accuracy metrics and visualization binning
+// of the paper's evaluation (§5.3): mean absolute percentage error,
+// Pearson and Spearman correlation coefficients, and the 35×35 heat-map
+// binning of Figure 7.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// MAPE returns the mean absolute percentage error of predictions against
+// measurements: mean(|pred−meas| / meas), expressed as a percentage.
+// Pairs with a non-positive measurement are skipped.
+func MAPE(pred, meas []float64) float64 {
+	if len(pred) != len(meas) {
+		panic("stats: length mismatch")
+	}
+	sum, n := 0.0, 0
+	for i := range pred {
+		if meas[i] <= 0 {
+			continue
+		}
+		sum += math.Abs(pred[i]-meas[i]) / meas[i]
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n) * 100
+}
+
+// Pearson returns the Pearson correlation coefficient of x and y.
+// It returns 0 if either series has zero variance.
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("stats: length mismatch")
+	}
+	n := float64(len(x))
+	if n == 0 {
+		return 0
+	}
+	var mx, my float64
+	for i := range x {
+		mx += x[i]
+		my += y[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Ranks returns the fractional ranks of xs (average ranks for ties),
+// 1-based as in the usual definition of Spearman's coefficient.
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j < n && xs[idx[j]] == xs[idx[i]] {
+			j++
+		}
+		// Average rank of the tie group [i, j).
+		avg := float64(i+j+1) / 2 // (i+1 + j) / 2 in 1-based ranks
+		for k := i; k < j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j
+	}
+	return ranks
+}
+
+// Spearman returns the Spearman rank correlation coefficient of x and y
+// (Pearson correlation of the tie-adjusted ranks).
+func Spearman(x, y []float64) float64 {
+	return Pearson(Ranks(x), Ranks(y))
+}
+
+// Median returns the median of xs (the mean of the two central values
+// for even lengths). It panics on empty input.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: median of empty slice")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) using linear
+// interpolation.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: quantile of empty slice")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Heatmap is the Figure 7 visualization: measured-vs-predicted
+// throughputs binned into a Bins×Bins grid over [0, Max]² with
+// logarithmic shading.
+type Heatmap struct {
+	Bins int
+	Max  float64
+	// Count[y][x] is the number of experiments with measured value in
+	// bin x and predicted value in bin y (y grows upward).
+	Count [][]int
+	// Total is the number of binned points; Clipped counts points
+	// outside [0, Max] that were clamped into the border bins.
+	Total   int
+	Clipped int
+}
+
+// BinHeatmap builds a heat map of the given measured/predicted pairs.
+// Following Figure 7, values beyond max are clamped into the outermost
+// bin.
+func BinHeatmap(meas, pred []float64, bins int, max float64) *Heatmap {
+	if len(meas) != len(pred) {
+		panic("stats: length mismatch")
+	}
+	if bins <= 0 || max <= 0 {
+		panic("stats: invalid heat map geometry")
+	}
+	h := &Heatmap{Bins: bins, Max: max, Count: make([][]int, bins)}
+	for y := range h.Count {
+		h.Count[y] = make([]int, bins)
+	}
+	clamp := func(v float64) (int, bool) {
+		b := int(v / max * float64(bins))
+		clipped := false
+		if b < 0 {
+			b, clipped = 0, true
+		}
+		if b >= bins {
+			b, clipped = bins-1, v > max
+		}
+		return b, clipped
+	}
+	for i := range meas {
+		x, cx := clamp(meas[i])
+		y, cy := clamp(pred[i])
+		h.Count[y][x]++
+		h.Total++
+		if cx || cy {
+			h.Clipped++
+		}
+	}
+	return h
+}
+
+// shades are the ASCII density ramp for rendering.
+var shades = []byte(" .:-=+*#%@")
+
+// Render draws the heat map as ASCII art with the diagonal marked,
+// predicted cycles on the vertical axis and measured cycles on the
+// horizontal axis (larger y printed first so the diagonal ascends).
+func (h *Heatmap) Render() string {
+	maxCount := 0
+	for _, row := range h.Count {
+		for _, c := range row {
+			if c > maxCount {
+				maxCount = c
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "predicted ↑  (0..%.0f cycles, %d points, %d clipped)\n",
+		h.Max, h.Total, h.Clipped)
+	for y := h.Bins - 1; y >= 0; y-- {
+		b.WriteByte('|')
+		for x := 0; x < h.Bins; x++ {
+			c := h.Count[y][x]
+			var ch byte
+			switch {
+			case c == 0 && x == y:
+				ch = '/' // the ideal diagonal
+			case c == 0:
+				ch = ' '
+			default:
+				// Logarithmic shade, like the paper's log color scale.
+				lvl := int(math.Log1p(float64(c)) / math.Log1p(float64(maxCount)) * float64(len(shades)-1))
+				if lvl >= len(shades) {
+					lvl = len(shades) - 1
+				}
+				ch = shades[lvl]
+			}
+			b.WriteByte(ch)
+		}
+		b.WriteString("|\n")
+	}
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", h.Bins))
+	b.WriteString("+  measured →\n")
+	return b.String()
+}
+
+// WriteCSV emits the heat map as "measured_bin,predicted_bin,count"
+// rows for external plotting.
+func (h *Heatmap) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "measured_bin,predicted_bin,count"); err != nil {
+		return err
+	}
+	for y := 0; y < h.Bins; y++ {
+		for x := 0; x < h.Bins; x++ {
+			if h.Count[y][x] == 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%d,%d,%d\n", x, y, h.Count[y][x]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,224 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMAPE(t *testing.T) {
+	pred := []float64{1.1, 2.0, 3.0}
+	meas := []float64{1.0, 2.0, 4.0}
+	// errors: 0.1/1, 0, 1/4 → mean = (0.1 + 0 + 0.25)/3 = 0.11666…
+	want := (0.1 + 0 + 0.25) / 3 * 100
+	if got := MAPE(pred, meas); !approx(got, want) {
+		t.Errorf("MAPE = %g, want %g", got, want)
+	}
+}
+
+func TestMAPESkipsNonPositiveMeasurements(t *testing.T) {
+	got := MAPE([]float64{1, 5}, []float64{0, 5})
+	if !approx(got, 0) {
+		t.Errorf("MAPE = %g, want 0 (zero measurement skipped)", got)
+	}
+	if got := MAPE(nil, nil); got != 0 {
+		t.Errorf("empty MAPE = %g", got)
+	}
+}
+
+func TestMAPEPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on mismatched lengths")
+		}
+	}()
+	MAPE([]float64{1}, []float64{1, 2})
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{2, 4, 6, 8}
+	if got := Pearson(x, y); !approx(got, 1) {
+		t.Errorf("Pearson = %g, want 1", got)
+	}
+	yneg := []float64{8, 6, 4, 2}
+	if got := Pearson(x, yneg); !approx(got, -1) {
+		t.Errorf("Pearson = %g, want -1", got)
+	}
+}
+
+func TestPearsonZeroVariance(t *testing.T) {
+	if got := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); got != 0 {
+		t.Errorf("Pearson with constant x = %g, want 0", got)
+	}
+	if got := Pearson(nil, nil); got != 0 {
+		t.Errorf("Pearson of empty = %g, want 0", got)
+	}
+}
+
+func TestPearsonKnownValue(t *testing.T) {
+	// Hand-computed example.
+	x := []float64{1, 2, 3}
+	y := []float64{1, 3, 2}
+	// means: 2, 2; cov = (1·1 + 0·(-1)... compute:
+	// dx = [-1,0,1], dy = [-1,1,0] → sxy = 1+0+0 = 1; sxx=2, syy=2 → 0.5.
+	if got := Pearson(x, y); !approx(got, 0.5) {
+		t.Errorf("Pearson = %g, want 0.5", got)
+	}
+}
+
+func TestRanksWithTies(t *testing.T) {
+	r := Ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if !approx(r[i], want[i]) {
+			t.Fatalf("Ranks = %v, want %v", r, want)
+		}
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Any strictly monotone transformation has Spearman 1.
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{1, 8, 27, 64, 125}
+	if got := Spearman(x, y); !approx(got, 1) {
+		t.Errorf("Spearman = %g, want 1", got)
+	}
+	rev := []float64{125, 64, 27, 8, 1}
+	if got := Spearman(x, rev); !approx(got, -1) {
+		t.Errorf("Spearman = %g, want -1", got)
+	}
+}
+
+func TestSpearmanBoundedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.Float64()
+			y[i] = rng.Float64()
+		}
+		s := Spearman(x, y)
+		p := Pearson(x, y)
+		return s >= -1-1e-9 && s <= 1+1e-9 && p >= -1-1e-9 && p <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); !approx(got, 2) {
+		t.Errorf("Median odd = %g", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); !approx(got, 2.5) {
+		t.Errorf("Median even = %g", got)
+	}
+	// Median must not modify its input.
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 {
+		t.Error("Median sorted its input in place")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Median of empty did not panic")
+		}
+	}()
+	Median(nil)
+}
+
+func TestMeanAndQuantile(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); !approx(got, 2) {
+		t.Errorf("Mean = %g", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %g", got)
+	}
+	xs := []float64{0, 10}
+	if got := Quantile(xs, 0.5); !approx(got, 5) {
+		t.Errorf("Quantile(0.5) = %g", got)
+	}
+	if got := Quantile(xs, 0); !approx(got, 0) {
+		t.Errorf("Quantile(0) = %g", got)
+	}
+	if got := Quantile(xs, 1); !approx(got, 10) {
+		t.Errorf("Quantile(1) = %g", got)
+	}
+}
+
+func TestBinHeatmap(t *testing.T) {
+	meas := []float64{0.5, 1.5, 2.5, 100}
+	pred := []float64{0.5, 1.6, 2.4, -1}
+	h := BinHeatmap(meas, pred, 3, 3)
+	if h.Total != 4 {
+		t.Errorf("Total = %d", h.Total)
+	}
+	if h.Clipped != 1 {
+		t.Errorf("Clipped = %d, want 1", h.Clipped)
+	}
+	// (0.5, 0.5) → bin (0,0); (1.5,1.6) → (1,1); (2.5,2.4) → (2,2);
+	// (100,-1) → clamped to (2,0).
+	if h.Count[0][0] != 1 || h.Count[1][1] != 1 || h.Count[2][2] != 1 || h.Count[0][2] != 1 {
+		t.Errorf("Count = %v", h.Count)
+	}
+}
+
+func TestHeatmapRender(t *testing.T) {
+	meas := make([]float64, 100)
+	pred := make([]float64, 100)
+	rng := rand.New(rand.NewSource(1))
+	for i := range meas {
+		meas[i] = rng.Float64() * 10
+		pred[i] = meas[i] * (1 + rng.NormFloat64()*0.1)
+	}
+	h := BinHeatmap(meas, pred, 35, 10)
+	out := h.Render()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header + 35 rows + axis line.
+	if len(lines) != 37 {
+		t.Fatalf("render has %d lines, want 37", len(lines))
+	}
+	if !strings.Contains(lines[0], "100 points") {
+		t.Errorf("header = %q", lines[0])
+	}
+}
+
+func TestHeatmapCSV(t *testing.T) {
+	h := BinHeatmap([]float64{0.5, 1.5}, []float64{0.5, 1.5}, 2, 2)
+	var buf bytes.Buffer
+	if err := h.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.HasPrefix(got, "measured_bin,predicted_bin,count\n") {
+		t.Errorf("CSV header missing:\n%s", got)
+	}
+	if !strings.Contains(got, "0,0,1") || !strings.Contains(got, "1,1,1") {
+		t.Errorf("CSV rows missing:\n%s", got)
+	}
+}
+
+func TestBinHeatmapPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { BinHeatmap([]float64{1}, []float64{}, 3, 1) },
+		func() { BinHeatmap(nil, nil, 0, 1) },
+		func() { BinHeatmap(nil, nil, 3, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,100 @@
+package throughput
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pmevo/internal/portmap"
+)
+
+// TestStrongDuality is the machine-checked Appendix A argument: the
+// primal throughput LP, its dual, and the bottleneck simulation
+// algorithm must all produce the same value.
+func TestStrongDuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 300; trial++ {
+		numPorts := 1 + rng.Intn(8)
+		terms := randomTerms(rng, numPorts, 1+rng.Intn(8))
+		primal, err := LP(terms, numPorts)
+		if err != nil {
+			t.Fatalf("trial %d: primal: %v", trial, err)
+		}
+		dual, err := DualLP(terms, numPorts)
+		if err != nil {
+			t.Fatalf("trial %d: dual: %v", trial, err)
+		}
+		bn := Bottleneck(terms)
+		if math.Abs(primal-dual) > 1e-6 {
+			t.Fatalf("trial %d: duality gap: primal %g, dual %g", trial, primal, dual)
+		}
+		if math.Abs(primal-bn) > 1e-6 {
+			t.Fatalf("trial %d: bottleneck %g != primal %g", trial, bn, primal)
+		}
+	}
+}
+
+func TestDualLPEdgeCases(t *testing.T) {
+	v, err := DualLP(nil, 3)
+	if err != nil || v != 0 {
+		t.Errorf("DualLP(empty) = %g, %v", v, err)
+	}
+	v, err = DualLP([]portmap.MassTerm{{Ports: 0, Mass: 1}}, 3)
+	if err != nil || !math.IsInf(v, 1) {
+		t.Errorf("DualLP(unexecutable) = %g, %v", v, err)
+	}
+	if _, err := DualLP([]portmap.MassTerm{{Ports: portmap.MakePortSet(9), Mass: 1}}, 3); err == nil {
+		t.Error("out-of-range port accepted")
+	}
+}
+
+func TestBottleneckWitnessPaperExample(t *testing.T) {
+	// Example 2: for e = {add→2, mul→1, store→1} under the Figure 2
+	// mapping, Q* = {P1, P2} (indices 0, 1 here).
+	m := twoLevelPaperMapping()
+	e := portmap.Experiment{{Inst: 1, Count: 2}, {Inst: 0, Count: 1}, {Inst: 3, Count: 1}}
+	q, tp := BottleneckWitness(m.Flatten(e))
+	if math.Abs(tp-1.5) > 1e-9 {
+		t.Errorf("witness throughput = %g, want 1.5", tp)
+	}
+	if q != portmap.MakePortSet(0, 1) {
+		t.Errorf("Q* = %s, want {P0,P1}", q)
+	}
+}
+
+func TestBottleneckWitnessProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		numPorts := 2 + rng.Intn(7)
+		terms := randomTerms(rng, numPorts, 1+rng.Intn(6))
+		q, tp := BottleneckWitness(terms)
+		if q.IsEmpty() {
+			t.Fatalf("trial %d: empty witness for non-empty experiment", trial)
+		}
+		// The witness value must match the bottleneck algorithm.
+		if bn := Bottleneck(terms); math.Abs(tp-bn) > 1e-9 {
+			t.Fatalf("trial %d: witness %g != bottleneck %g", trial, tp, bn)
+		}
+		// The witness must attain its own ratio: mass(Q*)/|Q*| = tp.
+		mass := 0.0
+		for _, mt := range terms {
+			if mt.Ports.SubsetOf(q) {
+				mass += mt.Mass
+			}
+		}
+		if math.Abs(mass/float64(q.Count())-tp) > 1e-9 {
+			t.Fatalf("trial %d: witness does not attain its ratio", trial)
+		}
+	}
+}
+
+func TestBottleneckWitnessEmpty(t *testing.T) {
+	q, tp := BottleneckWitness(nil)
+	if !q.IsEmpty() || tp != 0 {
+		t.Errorf("witness of empty = %s, %g", q, tp)
+	}
+	q, tp = BottleneckWitness([]portmap.MassTerm{{Ports: 0, Mass: 2}})
+	if !math.IsInf(tp, 1) {
+		t.Errorf("witness of unexecutable = %s, %g", q, tp)
+	}
+}

@@ -1,0 +1,109 @@
+package uarch
+
+import (
+	"pmevo/internal/isa"
+	"pmevo/internal/machine"
+	"pmevo/internal/portmap"
+)
+
+// A72 builds the Cortex-A72-like processor with 7 ports (paper Table 1:
+// "7 + BR"; the branch pipeline is omitted because the ISA under test
+// contains no control-flow instructions, §5.1.1).
+//
+// Port layout per ARM's Cortex-A72 software optimization guide:
+//
+//	I0, I1: single-cycle integer pipelines
+//	M:      multi-cycle integer pipeline (multiply, divide, bitfield)
+//	F0, F1: FP/ASIMD pipelines (divide/sqrt only on F0)
+//	L:      load pipeline
+//	S:      store pipeline
+//
+// The A72 core is configured with a narrow front end (3-wide dispatch)
+// and a small scheduler window, reproducing the paper's observation that
+// its "less advanced out-of-order execution engine" makes longer
+// experiments fall short of the optimal-scheduler model and leads to the
+// under-estimation visible in Figure 7 (§5.3.2).
+func A72() *Processor {
+	p := &Processor{
+		Name:            "A72",
+		Manufacturer:    "RockChip",
+		ProcessorStr:    "RK3399",
+		Microarch:       "Cortex-A72",
+		PortsStr:        "7 + BR",
+		InstrSet:        "ARMv8-A",
+		ClockGHz:        1.8,
+		RAMGB:           4,
+		HasPortCounters: false,
+		ISA:             isa.SyntheticARM(),
+		PortNames:       []string{"I0", "I1", "M", "F0", "F1", "L", "S"},
+		Config: machine.Config{
+			NumPorts:      7,
+			DispatchWidth: 3,
+			WindowSize:    24,
+			Policy:        machine.LowestIndex,
+			FrequencyGHz:  1.8,
+		},
+	}
+
+	behaviours := map[string]classBehaviour{
+		// Integer.
+		"alu":         {mapUops: uops(u(1, 0, 1)), latency: 1},
+		"alu_shifted": {mapUops: uops(u(1, 2)), latency: 2},
+		"csel":        {mapUops: uops(u(1, 0, 1)), latency: 1},
+		"mov":         {mapUops: uops(u(1, 0, 1)), latency: 1},
+		"shift":       {mapUops: uops(u(1, 0, 1)), latency: 1},
+		"bitfield":    {mapUops: uops(u(1, 2)), latency: 2},
+		"bitcnt":      {mapUops: uops(u(1, 2)), latency: 2},
+		"mul":         {mapUops: uops(u(1, 2)), latency: 3},
+		"lea":         {mapUops: uops(u(1, 0, 1)), latency: 1},
+
+		// Integer division: iterative, occupying the M pipe for 12
+		// cycles; documented as 12 M-pipe µops so the mapping model
+		// matches the measured reciprocal throughput.
+		"div": {
+			mapUops: uops(u(12, 2)),
+			simUops: []machine.UopSpec{
+				{Ports: portmap.MakePortSet(2), Block: 12},
+			},
+			latency: 20,
+		},
+
+		// Memory.
+		"load":      {mapUops: uops(u(1, 5)), latency: 4},
+		"loadpair":  {mapUops: uops(u(2, 5)), latency: 4},
+		"store":     {mapUops: uops(u(1, 6)), latency: 1},
+		"storepair": {mapUops: uops(u(2, 6)), latency: 1},
+		"vecload":   {mapUops: uops(u(1, 5)), latency: 5},
+		"vecstore":  {mapUops: uops(u(1, 6)), latency: 1},
+
+		// Scalar FP.
+		"fpscalar": {mapUops: uops(u(1, 3, 4)), latency: 3},
+		"fpcmp":    {mapUops: uops(u(1, 3, 4)), latency: 3},
+		"fma":      {mapUops: uops(u(1, 3, 4)), latency: 7},
+		"fpcvt":    {mapUops: uops(u(1, 3)), latency: 3},
+		"xfer":     {mapUops: uops(u(1, 2)), latency: 3},
+
+		// FP division and square root: F0 only, iterative, occupying the
+		// pipe for 10 cycles.
+		"fpdiv": {
+			mapUops: uops(u(10, 3)),
+			simUops: []machine.UopSpec{
+				{Ports: portmap.MakePortSet(3), Block: 10},
+			},
+			latency: 17,
+		},
+
+		// ASIMD.
+		"vecialu":  {mapUops: uops(u(1, 3, 4)), latency: 3},
+		"vecshift": {mapUops: uops(u(1, 4)), latency: 3},
+		"vecimul":  {mapUops: uops(u(1, 3)), latency: 4},
+		"vecshuf":  {mapUops: uops(u(1, 3, 4)), latency: 3},
+		"vecfp":    {mapUops: uops(u(1, 3, 4)), latency: 4},
+	}
+
+	proc, err := build(p, behaviours, nil, nil)
+	if err != nil {
+		panic(err)
+	}
+	return proc
+}

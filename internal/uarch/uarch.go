@@ -1,0 +1,168 @@
+// Package uarch defines the ground-truth virtual processors that stand in
+// for the paper's physical evaluation machines (Table 1): an Intel
+// Skylake-like core (SKL), an AMD Zen+-like core (ZEN), and an ARM
+// Cortex-A72-like core (A72).
+//
+// Each processor couples an instruction set (internal/isa) with a hidden
+// ground-truth port mapping, per-instruction simulator specs (latency,
+// blocking dividers, quirks), and a machine configuration. The inference
+// pipeline never reads the ground truth — it only observes measured
+// cycles from the simulator, exactly as the paper only observes wall
+// clock time on real hardware.
+//
+// Deliberate ground-truth/behaviour mismatches reproduce documented
+// quirks of the real machines:
+//
+//   - SKL bit-test instructions (BTx) execute one more µop than their
+//     documented port usage implies, reproducing the below-diagonal
+//     cluster in Figure 7 (§5.3.1).
+//   - SKL and ZEN dividers block their pipe for several cycles,
+//     violating the full-pipelining assumption for those instructions
+//     (§3.1, assumption 2).
+//   - ZEN executes 256-bit vector operations as two double-pumped
+//     128-bit µops.
+//   - A72 has a narrow front end and small scheduler window, so longer
+//     experiments fall short of the optimal-scheduler model (§5.3.2).
+package uarch
+
+import (
+	"fmt"
+
+	"pmevo/internal/isa"
+	"pmevo/internal/machine"
+	"pmevo/internal/portmap"
+)
+
+// Processor bundles everything the evaluation needs to know about one
+// virtual machine.
+type Processor struct {
+	// Name is the short evaluation name: SKL, ZEN, or A72.
+	Name string
+	// Table 1 metadata.
+	Manufacturer string
+	ProcessorStr string
+	Microarch    string
+	PortsStr     string
+	InstrSet     string
+	ClockGHz     float64
+	RAMGB        int
+	// HasPortCounters reports whether the (real) machine exposes
+	// per-port performance counters; only SKL does (§5.1.1), which
+	// restricts which baseline predictors are available.
+	HasPortCounters bool
+
+	// ISA is the instruction form set under test.
+	ISA *isa.ISA
+	// GroundTruth is the true port mapping. Inference must not read it;
+	// it is used only by baseline predictors (uops.info, IACA, llvm-mca)
+	// and for evaluation.
+	GroundTruth *portmap.Mapping
+	// Specs gives the simulator behaviour per instruction form, indexed
+	// by form ID. Specs may deviate from GroundTruth where the real
+	// hardware deviates from its documentation.
+	Specs []machine.InstSpec
+	// Config is the simulated core configuration.
+	Config machine.Config
+	// PortNames names the model ports.
+	PortNames []string
+}
+
+// Machine builds the cycle-level simulator for the processor.
+func (p *Processor) Machine() (*machine.Machine, error) {
+	return machine.New(p.Config, p.Specs)
+}
+
+// classBehaviour describes how one semantic instruction class behaves on
+// a processor.
+type classBehaviour struct {
+	// mapUops is the documented µop decomposition (the ground truth
+	// port mapping).
+	mapUops []portmap.UopCount
+	// simUops overrides the decomposition actually executed by the
+	// simulator; nil means "as documented" with Block 1.
+	simUops []machine.UopSpec
+	// latency is the result latency in cycles (≥ 1).
+	latency int
+}
+
+// uops is a convenience constructor for mapping decompositions.
+func uops(entries ...portmap.UopCount) []portmap.UopCount { return entries }
+
+// u is one mapping µop: n instances executable on the given ports.
+func u(n int, ports ...int) portmap.UopCount {
+	return portmap.UopCount{Ports: portmap.MakePortSet(ports...), Count: n}
+}
+
+// simFromMap derives fully-pipelined simulator µops from a mapping
+// decomposition.
+func simFromMap(mapUops []portmap.UopCount) []machine.UopSpec {
+	var out []machine.UopSpec
+	for _, uc := range mapUops {
+		for i := 0; i < uc.Count; i++ {
+			out = append(out, machine.UopSpec{Ports: uc.Ports, Block: 1})
+		}
+	}
+	return out
+}
+
+// build assembles a Processor from per-class behaviours, optional
+// per-mnemonic overrides, and an optional per-form transformation (used
+// for ZEN's 256-bit double pumping).
+func build(p *Processor, behaviours map[string]classBehaviour,
+	mnemonicOverrides map[string]classBehaviour,
+	transform func(f *isa.Form, b classBehaviour) classBehaviour) (*Processor, error) {
+
+	n := p.ISA.NumForms()
+	numPorts := len(p.PortNames)
+	gt := portmap.NewMapping(n, numPorts)
+	names := make([]string, n)
+	specs := make([]machine.InstSpec, n)
+
+	for _, f := range p.ISA.Forms() {
+		names[f.ID] = f.Name()
+		b, ok := mnemonicOverrides[f.Mnemonic]
+		if !ok {
+			b, ok = behaviours[f.Class]
+			if !ok {
+				return nil, fmt.Errorf("uarch: %s: no behaviour for class %q (form %s)",
+					p.Name, f.Class, f.Name())
+			}
+		}
+		if transform != nil {
+			b = transform(f, b)
+		}
+		gt.SetDecomp(f.ID, b.mapUops)
+		sim := b.simUops
+		if sim == nil {
+			sim = simFromMap(b.mapUops)
+		}
+		specs[f.ID] = machine.InstSpec{Uops: sim, Latency: b.latency}
+	}
+
+	gt.InstNames = names
+	gt.PortNames = p.PortNames
+	if err := gt.Validate(); err != nil {
+		return nil, fmt.Errorf("uarch: %s ground truth invalid: %v", p.Name, err)
+	}
+	p.GroundTruth = gt
+	p.Specs = specs
+	if _, err := machine.New(p.Config, specs); err != nil {
+		return nil, fmt.Errorf("uarch: %s simulator specs invalid: %v", p.Name, err)
+	}
+	return p, nil
+}
+
+// All returns the three evaluated processors in Table 1 order.
+func All() []*Processor {
+	return []*Processor{SKL(), ZEN(), A72()}
+}
+
+// ByName returns the processor with the given evaluation name.
+func ByName(name string) (*Processor, error) {
+	for _, p := range All() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("uarch: unknown processor %q (want SKL, ZEN, or A72)", name)
+}

@@ -1,0 +1,149 @@
+package uarch
+
+import (
+	"pmevo/internal/isa"
+	"pmevo/internal/machine"
+	"pmevo/internal/portmap"
+)
+
+// ZEN builds the Zen+-like processor with 10 ports (paper Table 1).
+// The port layout follows AMD's Family 17h optimization guide: four
+// integer ALUs, two load AGUs, a store unit, and four FP/vector pipes —
+// with the store-data function sharing the last FP pipe, for ten
+// scheduler ports total:
+//
+//	P0-P3: integer ALUs (multiply on P1, divide on P2)
+//	P4-P5: load AGUs
+//	P6:    store AGU/data
+//	P7-P9: FP/vector pipes (FP0, FP1, FP2)
+//
+// Zen+ executes 256-bit AVX operations as two double-pumped 128-bit
+// µops; the transform below doubles every vector µop count for forms
+// with a 256-bit operand, in both the ground truth and the simulator.
+func ZEN() *Processor {
+	p := &Processor{
+		Name:            "ZEN",
+		Manufacturer:    "AMD",
+		ProcessorStr:    "Ryzen 5 2600X",
+		Microarch:       "Zen+",
+		PortsStr:        "10",
+		InstrSet:        "x86-64",
+		ClockGHz:        3.6,
+		RAMGB:           32,
+		HasPortCounters: false,
+		ISA:             isa.SyntheticX86(),
+		PortNames:       []string{"P0", "P1", "P2", "P3", "L0", "L1", "ST", "F0", "F1", "F2"},
+		Config: machine.Config{
+			NumPorts:      10,
+			DispatchWidth: 5,
+			WindowSize:    70,
+			Policy:        machine.LeastLoaded,
+			FrequencyGHz:  3.6,
+		},
+	}
+
+	behaviours := map[string]classBehaviour{
+		// Scalar integer: four symmetric ALUs.
+		"alu":     {mapUops: uops(u(1, 0, 1, 2, 3)), latency: 1},
+		"alu_ld":  {mapUops: uops(u(1, 0, 1, 2, 3), u(1, 4, 5)), latency: 5},
+		"shift":   {mapUops: uops(u(1, 1, 2)), latency: 1},
+		"bitcnt":  {mapUops: uops(u(1, 0, 3)), latency: 1},
+		"bittest": {mapUops: uops(u(1, 1, 2)), latency: 1},
+		"mul":     {mapUops: uops(u(1, 1)), latency: 3},
+		"mul_ld":  {mapUops: uops(u(1, 1), u(1, 4, 5)), latency: 7},
+		"lea":     {mapUops: uops(u(1, 0, 1, 2, 3)), latency: 1},
+		"lea3":    {mapUops: uops(u(2, 0, 1, 2, 3)), latency: 2},
+		"mov":     {mapUops: uops(u(1, 0, 1, 2, 3)), latency: 1},
+		"cmov":    {mapUops: uops(u(1, 0, 1, 2, 3)), latency: 1},
+		"setcc":   {mapUops: uops(u(1, 0, 1, 2, 3)), latency: 1},
+
+		// Integer division: iterative divider occupying ALU2 for 14
+		// cycles; documented as 14 single-port µops so the mapping model
+		// matches the measured reciprocal throughput.
+		"div": {
+			mapUops: uops(u(14, 2)),
+			simUops: []machine.UopSpec{
+				{Ports: portmap.MakePortSet(2), Block: 14},
+			},
+			latency: 25,
+		},
+
+		// Memory.
+		"load":     {mapUops: uops(u(1, 4, 5)), latency: 4},
+		"store":    {mapUops: uops(u(1, 4, 5), u(1, 6)), latency: 1},
+		"vecload":  {mapUops: uops(u(1, 4, 5)), latency: 6},
+		"vecstore": {mapUops: uops(u(1, 4, 5), u(1, 6)), latency: 1},
+
+		// Vector integer (128-bit baseline; 256-bit double-pumped via
+		// the transform).
+		"vecmov":     {mapUops: uops(u(1, 7, 8, 9)), latency: 1},
+		"vecialu":    {mapUops: uops(u(1, 7, 8, 9)), latency: 1},
+		"vecialu_ld": {mapUops: uops(u(1, 7, 8, 9), u(1, 4, 5)), latency: 7},
+		"vecshift":   {mapUops: uops(u(1, 8)), latency: 1},
+		"vecimul":    {mapUops: uops(u(1, 7)), latency: 4},
+		"vecshuf":    {mapUops: uops(u(1, 8, 9)), latency: 1},
+
+		// Vector floating point.
+		"vecfp":    {mapUops: uops(u(1, 7, 8)), latency: 3},
+		"vecfp_ld": {mapUops: uops(u(1, 7, 8), u(1, 4, 5)), latency: 9},
+		"fma":      {mapUops: uops(u(1, 7, 8)), latency: 5},
+		"fpscalar": {mapUops: uops(u(1, 7, 8)), latency: 3},
+		"veccvt":   {mapUops: uops(u(1, 9)), latency: 4},
+		"xfer":     {mapUops: uops(u(1, 9)), latency: 3},
+
+		// FP division: iterative divider occupying FP2 for 5 cycles.
+		"fpdiv": {
+			mapUops: uops(u(5, 9)),
+			simUops: []machine.UopSpec{
+				{Ports: portmap.MakePortSet(9), Block: 5},
+			},
+			latency: 12,
+		},
+	}
+
+	// Double-pump all vector µops of 256-bit forms: both the ground
+	// truth mapping and the simulator execute twice the µops. Loads and
+	// stores keep a single memory µop (the load/store path is 256 bits
+	// wide internally) but the FP halves double.
+	transform := func(f *isa.Form, b classBehaviour) classBehaviour {
+		if !has256BitOperand(f) {
+			return b
+		}
+		vec := portmap.MakePortSet(7, 8, 9)
+		out := b
+		out.mapUops = nil
+		for _, uc := range b.mapUops {
+			if !uc.Ports.Intersect(vec).IsEmpty() {
+				uc.Count *= 2
+			}
+			out.mapUops = append(out.mapUops, uc)
+		}
+		if b.simUops != nil {
+			out.simUops = nil
+			for _, us := range b.simUops {
+				out.simUops = append(out.simUops, us)
+				if !us.Ports.Intersect(vec).IsEmpty() {
+					out.simUops = append(out.simUops, us)
+				}
+			}
+		}
+		return out
+	}
+
+	proc, err := build(p, behaviours, nil, transform)
+	if err != nil {
+		panic(err)
+	}
+	return proc
+}
+
+// has256BitOperand reports whether any operand of the form is 256 bits
+// wide.
+func has256BitOperand(f *isa.Form) bool {
+	for _, op := range f.Operands {
+		if op.Width >= 256 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,138 @@
+package pmevo_test
+
+import (
+	"math"
+	"testing"
+
+	"pmevo"
+	"pmevo/internal/isa"
+	"pmevo/internal/portmap"
+)
+
+// TestFacadeProcessors exercises the public processor accessors.
+func TestFacadeProcessors(t *testing.T) {
+	procs := pmevo.Processors()
+	if len(procs) != 3 {
+		t.Fatalf("Processors() returned %d, want 3", len(procs))
+	}
+	skl, err := pmevo.Processor("SKL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skl.Microarch != "Skylake" {
+		t.Errorf("SKL microarch = %q", skl.Microarch)
+	}
+	if _, err := pmevo.Processor("bogus"); err == nil {
+		t.Error("unknown processor accepted")
+	}
+}
+
+func TestFacadeISAs(t *testing.T) {
+	if n := pmevo.SyntheticX86().NumForms(); n != 310 {
+		t.Errorf("x86 forms = %d", n)
+	}
+	if n := pmevo.SyntheticARM().NumForms(); n != 390 {
+		t.Errorf("ARM forms = %d", n)
+	}
+}
+
+func TestFacadeThroughputAndAnalyze(t *testing.T) {
+	proc, err := pmevo.Processor("SKL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	add, ok := proc.ISA.FormByName("add_r64_r64")
+	if !ok {
+		t.Fatal("add_r64_r64 missing")
+	}
+	e := pmevo.Experiment{{Inst: add.ID, Count: 4}}
+	tp := pmevo.Throughput(proc.GroundTruth, e)
+	if math.Abs(tp-1.0) > 1e-9 { // 4 adds over 4 ALU ports
+		t.Errorf("Throughput = %g, want 1.0", tp)
+	}
+	a, err := pmevo.Analyze(proc.GroundTruth, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Throughput-tp) > 1e-6 {
+		t.Errorf("Analyze.Throughput = %g vs %g", a.Throughput, tp)
+	}
+}
+
+func TestFacadeMeasurer(t *testing.T) {
+	proc, err := pmevo.Processor("A72")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := pmevo.NewSimMeasurer(proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := m.Measure(pmevo.Experiment{{Inst: 0, Count: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp <= 0 {
+		t.Errorf("measured %g", tp)
+	}
+}
+
+// TestFacadeInferEndToEnd runs the public Infer on a small hidden
+// machine defined through the internal portmap package (as library
+// consumers would define a Measurer against real hardware).
+func TestFacadeInferEndToEnd(t *testing.T) {
+	hidden := portmap.NewMapping(3, 3)
+	hidden.SetDecomp(0, []portmap.UopCount{{Ports: portmap.MakePortSet(0), Count: 1}})
+	hidden.SetDecomp(1, []portmap.UopCount{{Ports: portmap.MakePortSet(0, 1), Count: 1}})
+	hidden.SetDecomp(2, []portmap.UopCount{{Ports: portmap.MakePortSet(2), Count: 2}})
+
+	a := miniFacadeISA(t)
+	cfg := pmevo.DefaultConfig(3)
+	cfg.Evo.PopulationSize = 150
+	cfg.Evo.MaxGenerations = 40
+	cfg.Evo.Seed = 5
+	cfg.Evo.Workers = 2
+	// Tiny problems are prone to the compactness trap of equal-weight
+	// scalarization; lean the fitness toward accuracy (extension knob).
+	cfg.Evo.AccuracyWeight = 10
+
+	res, err := pmevo.Infer(a, oracle{hidden}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evo.BestError > 0.05 {
+		t.Errorf("Davg = %g", res.Evo.BestError)
+	}
+	for _, e := range []pmevo.Experiment{
+		{{Inst: 0, Count: 1}, {Inst: 1, Count: 1}},
+		{{Inst: 2, Count: 1}, {Inst: 0, Count: 2}},
+	} {
+		want := pmevo.Throughput(hidden, e)
+		got := pmevo.Throughput(res.Mapping, e)
+		if math.Abs(got-want)/want > 0.35 {
+			t.Errorf("experiment %v: predicted %g, hidden truth %g", e, got, want)
+		}
+	}
+}
+
+type oracle struct{ truth *pmevo.Mapping }
+
+func (o oracle) Measure(e pmevo.Experiment) (float64, error) {
+	return pmevo.Throughput(o.truth, e), nil
+}
+
+func miniFacadeISA(t *testing.T) *pmevo.ISA {
+	t.Helper()
+	a := isa.New("facade-mini")
+	for _, mnem := range []string{"alpha", "beta", "gamma"} {
+		a.MustAddForm(isa.Form{
+			Mnemonic: mnem,
+			Operands: []isa.Operand{
+				{Kind: isa.KindReg, Class: isa.ClassGPR, Width: 64, Write: true},
+				{Kind: isa.KindReg, Class: isa.ClassGPR, Width: 64, Read: true},
+			},
+			Class: mnem,
+		})
+	}
+	return a
+}
