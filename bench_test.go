@@ -1,5 +1,5 @@
 // Benchmarks regenerating the paper's tables and figures, plus the
-// ablation studies called out in DESIGN.md §5.
+// ablation studies called out in DESIGN.md.
 //
 // The per-table/figure benchmarks run the corresponding eval driver at
 // QuickScale once per iteration; run them individually with
@@ -321,7 +321,7 @@ func BenchmarkAblationCongruence(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	set, err := exp.GenerateAndMeasure(translator{h, ids}, sub.NumForms())
+	set, err := exp.GenerateAndMeasure(measure.SubsetMeasurer{H: h, IDs: ids}, sub.NumForms())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -373,20 +373,6 @@ func subsetISA(b *testing.B, proc *uarch.Processor, perClass int) (*isa.ISA, []i
 		b.Fatal(err)
 	}
 	return sub, ids
-}
-
-// translator adapts a full-ISA harness to subset instruction indices.
-type translator struct {
-	h   *measure.Harness
-	ids []int
-}
-
-func (t translator) Measure(e portmap.Experiment) (float64, error) {
-	full := make(portmap.Experiment, len(e))
-	for i, term := range e {
-		full[i] = portmap.InstCount{Inst: t.ids[term.Inst], Count: term.Count}
-	}
-	return t.h.Measure(full)
 }
 
 // congruencePartition projects a measured set onto its congruence-class

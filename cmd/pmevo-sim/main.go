@@ -18,7 +18,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"pmevo/internal/engine"
 	"pmevo/internal/espec"
 	"pmevo/internal/portmap"
 	"pmevo/internal/throughput"
@@ -28,8 +30,14 @@ import (
 func main() {
 	procName := flag.String("proc", "SKL", "processor whose ground-truth mapping to use: SKL|ZEN|A72")
 	mappingFile := flag.String("mapping", "", "JSON port mapping file (overrides -proc's ground truth)")
+	engineName := flag.String("engine", "bottleneck", "throughput engine: "+strings.Join(engine.Names(), "|"))
 	list := flag.Bool("list", false, "list the available instruction form names and exit")
 	flag.Parse()
+
+	eng, err := engine.ByName(*engineName)
+	if err != nil {
+		fatalf("%v", err)
+	}
 
 	proc, err := uarch.ByName(*procName)
 	if err != nil {
@@ -77,11 +85,16 @@ func main() {
 		fatalf("%v (use -list to see available forms)", err)
 	}
 
+	tp, err := eng.Predict(mapping, e)
+	if err != nil {
+		fatalf("%v", err)
+	}
 	analysis, err := throughput.Analyze(mapping, e)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	fmt.Printf("experiment: %s\n\n", resolver.Format(e))
+	fmt.Printf("experiment: %s\n", resolver.Format(e))
+	fmt.Printf("throughput (%s engine): %.4g cycles per experiment instance\n\n", eng.Name(), tp)
 	fmt.Print(analysis.Render(mapping.PortNames))
 }
 

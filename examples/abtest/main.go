@@ -12,11 +12,17 @@
 // Run with:
 //
 //	go run ./examples/abtest
+//	go run ./examples/abtest -engine=lp
+//
+// The -engine flag selects the throughput engine by name through the
+// pmevo.Predictor facade; all engines agree on the predictions.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"strings"
 
 	"pmevo"
 )
@@ -29,6 +35,14 @@ type variant struct {
 }
 
 func main() {
+	engineName := flag.String("engine", "bottleneck",
+		"throughput engine: "+strings.Join(pmevo.EngineNames(), "|"))
+	flag.Parse()
+	eng, err := pmevo.EngineByName(*engineName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	variants := []variant{
 		{
 			name: "multiply",
@@ -68,7 +82,10 @@ func main() {
 			}
 			e = e.Normalize()
 
-			predicted := pmevo.Throughput(proc.GroundTruth, e)
+			predicted, err := eng.Predict(proc.GroundTruth, e)
+			if err != nil {
+				log.Fatal(err)
+			}
 			measured, err := measurer.Measure(e)
 			if err != nil {
 				log.Fatal(err)

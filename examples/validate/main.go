@@ -46,7 +46,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	set, err := exp.GenerateAndMeasure(subsetMeasurer{h, forms}, len(forms))
+	set, err := exp.GenerateAndMeasure(measure.SubsetMeasurer{H: h, IDs: forms}, len(forms))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -110,20 +110,6 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Print(sample.String())
-}
-
-// subsetMeasurer translates subset indices to full-ISA form IDs.
-type subsetMeasurer struct {
-	h   *measure.Harness
-	ids []int
-}
-
-func (sm subsetMeasurer) Measure(e portmap.Experiment) (float64, error) {
-	full := make(portmap.Experiment, len(e))
-	for i, t := range e {
-		full[i] = portmap.InstCount{Inst: sm.ids[t.Inst], Count: t.Count}
-	}
-	return sm.h.Measure(full)
 }
 
 // staleMapping projects a degraded model — each µop restricted to its

@@ -1,0 +1,3 @@
+module pmevo
+
+go 1.24

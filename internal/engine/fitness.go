@@ -1,0 +1,166 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"pmevo/internal/exp"
+	"pmevo/internal/portmap"
+	"pmevo/internal/throughput"
+)
+
+// Fitness holds the two §4.4 objectives of one candidate mapping: the
+// average relative prediction error Davg over the measured experiment
+// set, and the µop volume V.
+type Fitness struct {
+	Davg   float64
+	Volume int
+}
+
+// ServiceOptions configures a fitness-evaluation Service.
+type ServiceOptions struct {
+	// Workers is the parallelism of EvaluateAll (<= 0: GOMAXPROCS).
+	Workers int
+	// Predictor selects the throughput engine. nil selects the built-in
+	// bottleneck fast path, which evaluates with zero allocation and
+	// per-worker reusable evaluator state; any other engine goes through
+	// the generic Predict interface.
+	Predictor Predictor
+}
+
+// Service evaluates candidate port mappings against a fixed measured
+// experiment set. It is the fitness-evaluation layer of the
+// evolutionary algorithm (§4.4/§4.5): construction pre-flattens the
+// experiment set into contiguous storage, and batched evaluation fans
+// out over a worker pool whose workers each own a reusable
+// throughput.Evaluator, so the per-candidate hot loop allocates
+// nothing.
+//
+// Evaluate may be called concurrently; EvaluateAll runs one batch at a
+// time (per-worker state is reused across batches).
+type Service struct {
+	workers int
+	pred    Predictor // nil: bottleneck fast path
+
+	// Pre-flattened experiment set: experiment i is
+	// terms[offs[i]:offs[i+1]] with measured throughput meas[i].
+	terms []portmap.InstCount
+	offs  []int32
+	meas  []float64
+
+	workerEv []throughput.Evaluator // per-worker state for EvaluateAll
+	pool     sync.Pool              // *throughput.Evaluator for Evaluate
+	evals    atomic.Int64
+}
+
+// NewService compiles the measured experiment set into a Service.
+func NewService(set *exp.Set, opts ServiceOptions) (*Service, error) {
+	if set == nil || set.NumInsts == 0 {
+		return nil, errors.New("engine: empty instruction set")
+	}
+	if len(set.Measurements) == 0 {
+		return nil, errors.New("engine: no measurements")
+	}
+	workers := Workers(opts.Workers)
+	s := &Service{
+		workers:  workers,
+		pred:     opts.Predictor,
+		offs:     make([]int32, 1, len(set.Measurements)+1),
+		meas:     make([]float64, 0, len(set.Measurements)),
+		workerEv: make([]throughput.Evaluator, workers),
+	}
+	for i, m := range set.Measurements {
+		if m.Throughput <= 0 {
+			return nil, fmt.Errorf("engine: measurement %d has non-positive throughput %g", i, m.Throughput)
+		}
+		for _, t := range m.Exp {
+			if t.Inst < 0 || t.Inst >= set.NumInsts {
+				return nil, fmt.Errorf("engine: measurement %d references instruction %d outside 0..%d",
+					i, t.Inst, set.NumInsts-1)
+			}
+		}
+		s.terms = append(s.terms, m.Exp...)
+		s.offs = append(s.offs, int32(len(s.terms)))
+		s.meas = append(s.meas, m.Throughput)
+	}
+	return s, nil
+}
+
+// NumExperiments returns the number of measurements the service
+// evaluates against.
+func (s *Service) NumExperiments() int { return len(s.meas) }
+
+// Evaluations returns the number of Davg computations performed so far
+// (the paper's cost metric for the bottleneck algorithm's speed).
+func (s *Service) Evaluations() int { return int(s.evals.Load()) }
+
+// experiment returns the i-th pre-flattened experiment without copying.
+func (s *Service) experiment(i int) portmap.Experiment {
+	return portmap.Experiment(s.terms[s.offs[i]:s.offs[i+1]])
+}
+
+// davgWith computes Davg(m) with the given reusable evaluator.
+func (s *Service) davgWith(ev *throughput.Evaluator, m *portmap.Mapping) float64 {
+	sum := 0.0
+	for i, meas := range s.meas {
+		pred := ev.ThroughputOf(m, s.experiment(i))
+		sum += math.Abs(pred-meas) / meas
+	}
+	return sum / float64(len(s.meas))
+}
+
+// davgGeneric computes Davg(m) through an arbitrary Predictor.
+func (s *Service) davgGeneric(m *portmap.Mapping) (float64, error) {
+	sum := 0.0
+	for i, meas := range s.meas {
+		pred, err := s.pred.Predict(m, s.experiment(i))
+		if err != nil {
+			return 0, fmt.Errorf("engine: %s on experiment %d: %w", s.pred.Name(), i, err)
+		}
+		sum += math.Abs(pred-meas) / meas
+	}
+	return sum / float64(len(s.meas)), nil
+}
+
+// Evaluate computes the fitness of a single mapping. It is safe for
+// concurrent use and counts as one fitness evaluation.
+func (s *Service) Evaluate(m *portmap.Mapping) (Fitness, error) {
+	s.evals.Add(1)
+	if s.pred != nil {
+		d, err := s.davgGeneric(m)
+		return Fitness{Davg: d, Volume: m.Volume()}, err
+	}
+	ev, _ := s.pool.Get().(*throughput.Evaluator)
+	if ev == nil {
+		ev = new(throughput.Evaluator)
+	}
+	f := Fitness{Davg: s.davgWith(ev, m), Volume: m.Volume()}
+	s.pool.Put(ev)
+	return f, nil
+}
+
+// EvaluateAll computes the fitness of every mapping in ms in parallel,
+// writing results into out (len(out) must equal len(ms)).
+func (s *Service) EvaluateAll(ms []*portmap.Mapping, out []Fitness) error {
+	if len(out) != len(ms) {
+		return fmt.Errorf("engine: output length %d does not match batch length %d", len(out), len(ms))
+	}
+	s.evals.Add(int64(len(ms)))
+	if s.pred == nil {
+		ForEachWorker(len(ms), s.workers, func(w, i int) {
+			out[i] = Fitness{Davg: s.davgWith(&s.workerEv[w], ms[i]), Volume: ms[i].Volume()}
+		})
+		return nil
+	}
+	return ForEachErr(len(ms), s.workers, func(i int) error {
+		d, err := s.davgGeneric(ms[i])
+		if err != nil {
+			return err
+		}
+		out[i] = Fitness{Davg: d, Volume: ms[i].Volume()}
+		return nil
+	})
+}

@@ -1,0 +1,87 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count option: values <= 0 mean GOMAXPROCS.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEachWorker invokes fn(worker, i) exactly once for every i in
+// [0, n), distributing indices dynamically over up to `workers`
+// goroutines (<= 0: GOMAXPROCS). The worker argument identifies the
+// executing goroutine with a dense index in [0, workers), so callers can
+// keep per-worker scratch state (e.g. a reusable throughput.Evaluator)
+// without locking. Dynamic distribution keeps the pool balanced when
+// task costs vary, as they do for simulations of different experiment
+// lengths.
+//
+// ForEachWorker returns after all invocations have completed. With one
+// worker (or n <= 1) everything runs on the calling goroutine.
+func ForEachWorker(n, workers int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// ForEach is ForEachWorker for tasks that need no per-worker state.
+func ForEach(n, workers int, fn func(i int)) {
+	ForEachWorker(n, workers, func(_, i int) { fn(i) })
+}
+
+// ForEachWorkerErr is ForEachWorker for fallible tasks: it runs all
+// invocations to completion and returns the error of the
+// lowest-indexed failed task (nil if none failed).
+func ForEachWorkerErr(n, workers int, fn func(worker, i int) error) error {
+	var mu sync.Mutex
+	firstErr := error(nil)
+	firstIdx := n
+	ForEachWorker(n, workers, func(w, i int) {
+		if err := fn(w, i); err != nil {
+			mu.Lock()
+			if i < firstIdx {
+				firstErr, firstIdx = err, i
+			}
+			mu.Unlock()
+		}
+	})
+	return firstErr
+}
+
+// ForEachErr is ForEachWorkerErr for tasks without per-worker state.
+func ForEachErr(n, workers int, fn func(i int) error) error {
+	return ForEachWorkerErr(n, workers, func(_, i int) error { return fn(i) })
+}

@@ -145,15 +145,13 @@ func (s *Suite) Accuracy(progress func(string)) (*AccuracyResult, error) {
 		bench := exp.RandomBenchmarkSet(rng, run.SubISA.NumForms(),
 			s.Scale.BenchmarkExperiments, s.Scale.BenchmarkLength)
 
-		meas := make([]float64, len(bench))
 		full := make([]portmap.Experiment, len(bench))
 		for i, e := range bench {
 			full[i] = translateExperiment(e, run.FormIDs)
-			m, err := h.Measure(full[i])
-			if err != nil {
-				return nil, err
-			}
-			meas[i] = m
+		}
+		meas, err := h.MeasureAll(full)
+		if err != nil {
+			return nil, err
 		}
 
 		type tool struct {
@@ -201,17 +199,13 @@ func (s *Suite) Accuracy(progress func(string)) (*AccuracyResult, error) {
 		}
 
 		for _, tl := range tools {
+			es := full
+			if tl.subset {
+				es = bench
+			}
 			pred := make([]float64, len(bench))
-			for i := range bench {
-				e := full[i]
-				if tl.subset {
-					e = bench[i]
-				}
-				p, err := tl.predict.Predict(e)
-				if err != nil {
-					return nil, fmt.Errorf("%s on %s: %w", tl.name, proc.Name, err)
-				}
-				pred[i] = p
+			if err := predictors.PredictAll(tl.predict, es, pred); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", tl.name, proc.Name, err)
 			}
 			out.Rows = append(out.Rows, AccuracyRow{
 				Arch: proc.Name,

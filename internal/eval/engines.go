@@ -1,0 +1,88 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"pmevo/internal/engine"
+	"pmevo/internal/exp"
+	"pmevo/internal/uarch"
+)
+
+// EngineCheckLine is one predicted throughput of the engine-consistency
+// dump: experiment Key on processor Proc's ground-truth mapping.
+type EngineCheckLine struct {
+	Proc       string
+	Key        string
+	Throughput float64
+}
+
+// EngineCheckResult is the output of RunEngineCheck. Runs with
+// different engines over the same seed cover the identical experiments,
+// so two dumps can be compared line by line — the acceptance check that
+// `pmevo-bench -engine=lp` and `-engine=bottleneck` agree on the
+// Table 1 configurations.
+type EngineCheckResult struct {
+	Engine string
+	Lines  []EngineCheckLine
+}
+
+// engineCheckExperiments is the number of random multiset experiments
+// predicted per processor, on top of every singleton.
+const engineCheckExperiments = 64
+
+// RunEngineCheck predicts a deterministic experiment set — all
+// singletons plus random multisets up to length 5 — on the ground-truth
+// mapping of every Table 1 processor with the named engine, using the
+// batched PredictAll interface.
+func RunEngineCheck(engineName string, seed int64) (*EngineCheckResult, error) {
+	eng, err := engine.ByName(engineName)
+	if err != nil {
+		return nil, err
+	}
+	res := &EngineCheckResult{Engine: eng.Name()}
+	for pi, proc := range uarch.All() {
+		m := proc.GroundTruth
+		es := exp.Singletons(m.NumInsts())
+		rng := rand.New(rand.NewSource(seed + int64(pi)))
+		es = append(es, exp.RandomBenchmarkSet(rng, m.NumInsts(), engineCheckExperiments, 5)...)
+		out := make([]float64, len(es))
+		if err := eng.PredictAll(m, es, out); err != nil {
+			return nil, fmt.Errorf("engine check on %s: %w", proc.Name, err)
+		}
+		for i, e := range es {
+			res.Lines = append(res.Lines, EngineCheckLine{
+				Proc:       proc.Name,
+				Key:        e.Key(),
+				Throughput: out[i],
+			})
+		}
+	}
+	return res, nil
+}
+
+// Render prints the dump with enough digits that diffing two runs
+// detects disagreements beyond 1e-9.
+func (r *EngineCheckResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Engine consistency dump (engine=%s): ground-truth throughputs on the Table 1 processors\n\n", r.Engine)
+	for _, l := range r.Lines {
+		fmt.Fprintf(&b, "%-4s %-24s %.12g\n", l.Proc, l.Key, l.Throughput)
+	}
+	return b.String()
+}
+
+// WriteCSV emits the dump for machine comparison.
+func (r *EngineCheckResult) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "proc,experiment,throughput"); err != nil {
+		return err
+	}
+	for _, l := range r.Lines {
+		if _, err := fmt.Fprintf(w, "%s,%q,%.12g\n", l.Proc, l.Key, l.Throughput); err != nil {
+			return err
+		}
+	}
+	return nil
+}

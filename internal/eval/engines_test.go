@@ -1,0 +1,63 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestEngineCheckAgreesAcrossEngines is the acceptance criterion for
+// the unified engine layer: the LP reference and the bottleneck
+// simulation algorithm must produce identical throughputs (up to 1e-9)
+// on the Table 1 processor configurations, and the ablation engines
+// must agree too.
+func TestEngineCheckAgreesAcrossEngines(t *testing.T) {
+	ref, err := RunEngineCheck("lp", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Lines) == 0 {
+		t.Fatal("empty engine check")
+	}
+	for _, name := range []string{"bottleneck", "union"} {
+		got, err := RunEngineCheck(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Lines) != len(ref.Lines) {
+			t.Fatalf("%s: %d lines, lp has %d", name, len(got.Lines), len(ref.Lines))
+		}
+		for i, l := range got.Lines {
+			r := ref.Lines[i]
+			if l.Proc != r.Proc || l.Key != r.Key {
+				t.Fatalf("%s: line %d covers %s/%s, lp covers %s/%s", name, i, l.Proc, l.Key, r.Proc, r.Key)
+			}
+			if math.Abs(l.Throughput-r.Throughput) > 1e-9 {
+				t.Errorf("%s: %s %s: %.12g, lp %.12g", name, l.Proc, l.Key, l.Throughput, r.Throughput)
+			}
+		}
+	}
+}
+
+func TestEngineCheckRendering(t *testing.T) {
+	res, err := RunEngineCheck("bottleneck", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Render()
+	for _, proc := range []string{"SKL", "ZEN", "A72"} {
+		if !strings.Contains(out, proc) {
+			t.Errorf("render lacks %s", proc)
+		}
+	}
+	var b strings.Builder
+	if err := res.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(b.String(), "\n"); lines != len(res.Lines)+1 {
+		t.Errorf("CSV has %d lines, want %d", lines, len(res.Lines)+1)
+	}
+	if _, err := RunEngineCheck("bogus", 1); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}

@@ -66,23 +66,17 @@ func RunFigure6(scale Scale) (*Figure6Result, error) {
 		} else {
 			es = exp.RandomBenchmarkSet(rng, proc.ISA.NumForms(), scale.Figure6Samples, length)
 		}
-		var meas, predUI, predIACA []float64
-		for _, e := range es {
-			m, err := h.Measure(e)
-			if err != nil {
-				return nil, err
-			}
-			pu, err := ui.Predict(e)
-			if err != nil {
-				return nil, err
-			}
-			pi, err := iaca.Predict(e)
-			if err != nil {
-				return nil, err
-			}
-			meas = append(meas, m)
-			predUI = append(predUI, pu)
-			predIACA = append(predIACA, pi)
+		meas, err := h.MeasureAll(es)
+		if err != nil {
+			return nil, err
+		}
+		predUI := make([]float64, len(es))
+		if err := predictors.PredictAll(ui, es, predUI); err != nil {
+			return nil, err
+		}
+		predIACA := make([]float64, len(es))
+		if err := predictors.PredictAll(iaca, es, predIACA); err != nil {
+			return nil, err
 		}
 		res.Lengths = append(res.Lengths, length)
 		res.MAPEUopsInfo = append(res.MAPEUopsInfo, stats.MAPE(predUI, meas))

@@ -11,18 +11,6 @@ import (
 	"pmevo/internal/uarch"
 )
 
-// translatedMeasurer adapts a full-ISA harness to a subset ISA: subset
-// instruction indices are translated to original form IDs before
-// measuring.
-type translatedMeasurer struct {
-	h   *measure.Harness
-	ids []int
-}
-
-func (tm *translatedMeasurer) Measure(e portmap.Experiment) (float64, error) {
-	return tm.h.Measure(translateExperiment(e, tm.ids))
-}
-
 // translateExperiment maps instruction indices through ids.
 func translateExperiment(e portmap.Experiment, ids []int) portmap.Experiment {
 	out := make(portmap.Experiment, len(e))
@@ -80,7 +68,7 @@ func RunPipeline(procName string, scale Scale) (*PipelineRun, error) {
 		Seed:            scale.Seed,
 	}
 
-	res, err := core.Infer(sub, &translatedMeasurer{h: h, ids: ids}, cfg)
+	res, err := core.Infer(sub, measure.SubsetMeasurer{H: h, IDs: ids}, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("eval: inference on %s failed: %w", procName, err)
 	}

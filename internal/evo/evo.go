@@ -20,6 +20,10 @@
 // showed little benefit over spending the same fitness evaluations on a
 // larger population. A mutation rate is retained as an explicit ablation
 // knob.
+//
+// Fitness evaluation — the dominant cost of the algorithm — is delegated
+// to internal/engine's batched, parallel fitness service; this package
+// contains no worker-pool code of its own.
 package evo
 
 import (
@@ -27,13 +31,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
 	"sort"
-	"sync"
 
+	"pmevo/internal/engine"
 	"pmevo/internal/exp"
 	"pmevo/internal/portmap"
-	"pmevo/internal/throughput"
 )
 
 // Options configures the evolutionary algorithm.
@@ -73,6 +75,11 @@ type Options struct {
 	// Workers is the number of parallel fitness evaluation goroutines
 	// (0: GOMAXPROCS).
 	Workers int
+	// Engine selects the throughput engine used for fitness evaluation.
+	// nil selects the engine package's zero-allocation bottleneck fast
+	// path (§4.5); any other engine.Predictor (e.g. the LP reference)
+	// goes through the generic interface.
+	Engine engine.Predictor
 	// Seed makes runs reproducible.
 	Seed int64
 	// ConvergenceEps terminates evolution when the spread of Davg in the
@@ -158,7 +165,13 @@ func Run(set *exp.Set, opts Options) (*Result, error) {
 	}
 
 	rng := rand.New(rand.NewSource(opts.Seed))
-	ev := newEvaluator(set, opts)
+	svc, err := engine.NewService(set, engine.ServiceOptions{
+		Workers:   opts.Workers,
+		Predictor: opts.Engine,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("evo: %w", err)
+	}
 
 	p := opts.PopulationSize
 	pop := make([]individual, 0, 2*p)
@@ -183,7 +196,9 @@ func Run(set *exp.Set, opts Options) (*Result, error) {
 		})
 		pop = append(pop, individual{m: m})
 	}
-	ev.evaluate(pop)
+	if err := evaluate(svc, pop); err != nil {
+		return nil, err
+	}
 
 	res := &Result{}
 	for gen := 0; gen < opts.MaxGenerations; gen++ {
@@ -204,7 +219,9 @@ func Run(set *exp.Set, opts Options) (*Result, error) {
 				children = append(children, individual{m: c2})
 			}
 		}
-		ev.evaluate(children)
+		if err := evaluate(svc, children); err != nil {
+			return nil, err
+		}
 		pop = append(pop, children...)
 
 		// Selection: scalarize both objectives over the combined
@@ -227,13 +244,34 @@ func Run(set *exp.Set, opts Options) (*Result, error) {
 
 	best := pop[0]
 	if opts.LocalSearch {
-		best = ev.localSearch(best, opts)
+		best, err = localSearch(svc, best, opts)
+		if err != nil {
+			return nil, err
+		}
 	}
 	res.Best = best.m
 	res.BestError = best.davg
 	res.BestVolume = best.volume
-	res.FitnessEvaluations = ev.evaluations()
+	res.FitnessEvaluations = svc.Evaluations()
 	return res, nil
+}
+
+// evaluate fills in the objectives of all individuals through the
+// engine's batched fitness service.
+func evaluate(svc *engine.Service, inds []individual) error {
+	ms := make([]*portmap.Mapping, len(inds))
+	for i := range inds {
+		ms[i] = inds[i].m
+	}
+	fits := make([]engine.Fitness, len(inds))
+	if err := svc.EvaluateAll(ms, fits); err != nil {
+		return err
+	}
+	for i := range inds {
+		inds[i].davg = fits[i].Davg
+		inds[i].volume = fits[i].Volume
+	}
+	return nil
 }
 
 func meanError(pop []individual) float64 {
@@ -370,77 +408,12 @@ func mutate(rng *rand.Rand, m *portmap.Mapping, opts Options, tpHints []float64)
 	}
 }
 
-// evaluator computes Davg over the measurement set with a parallel
-// worker pool; each worker owns a throughput.Evaluator so buffers are
-// reused without locking.
-type evaluator struct {
-	set     *exp.Set
-	workers int
-
-	mu    sync.Mutex
-	evals int
-}
-
-func newEvaluator(set *exp.Set, opts Options) *evaluator {
-	w := opts.Workers
-	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
-	}
-	return &evaluator{set: set, workers: w}
-}
-
-func (ev *evaluator) evaluations() int {
-	ev.mu.Lock()
-	defer ev.mu.Unlock()
-	return ev.evals
-}
-
-// davg computes the average relative prediction error of mapping m.
-func (ev *evaluator) davg(te *throughput.Evaluator, m *portmap.Mapping) float64 {
-	sum := 0.0
-	for _, meas := range ev.set.Measurements {
-		pred := te.ThroughputOf(m, meas.Exp)
-		sum += math.Abs(pred-meas.Throughput) / meas.Throughput
-	}
-	return sum / float64(len(ev.set.Measurements))
-}
-
-// evaluate fills in the objectives of all individuals in parallel.
-func (ev *evaluator) evaluate(inds []individual) {
-	var wg sync.WaitGroup
-	chunk := (len(inds) + ev.workers - 1) / ev.workers
-	for w := 0; w < ev.workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(inds) {
-			hi = len(inds)
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(part []individual) {
-			defer wg.Done()
-			var te throughput.Evaluator
-			for i := range part {
-				part[i].davg = ev.davg(&te, part[i].m)
-				part[i].volume = part[i].m.Volume()
-			}
-		}(inds[lo:hi])
-	}
-	wg.Wait()
-	ev.mu.Lock()
-	ev.evals += len(inds)
-	ev.mu.Unlock()
-}
-
 // localSearch greedily adjusts µop multiplicities (§4.4: "incrementally
 // adjusts the number n of µop occurrences for each edge (i,n,u) ∈ N and
 // keeps the changes to the port mapping if it is fitter than before").
 // An adjustment is kept if it reduces Davg, or keeps Davg (within 1e-12)
 // while reducing the volume.
-func (ev *evaluator) localSearch(start individual, opts Options) individual {
-	var te throughput.Evaluator
+func localSearch(svc *engine.Service, start individual, opts Options) (individual, error) {
 	cur := start
 	cur.m = start.m.Clone()
 
@@ -475,13 +448,12 @@ func (ev *evaluator) localSearch(start individual, opts Options) individual {
 					} else {
 						trial.Decomp[i][j].Count = next
 					}
-					d := ev.davg(&te, trial)
-					v := trial.Volume()
-					ev.mu.Lock()
-					ev.evals++
-					ev.mu.Unlock()
-					if better(d, v, cur.davg, cur.volume) {
-						cur = individual{m: trial, davg: d, volume: v}
+					fit, err := svc.Evaluate(trial)
+					if err != nil {
+						return individual{}, err
+					}
+					if better(fit.Davg, fit.Volume, cur.davg, cur.volume) {
+						cur = individual{m: trial, davg: fit.Davg, volume: fit.Volume}
 						improved = true
 						break // re-inspect the modified decomposition
 					}
@@ -495,5 +467,5 @@ func (ev *evaluator) localSearch(start individual, opts Options) individual {
 			break
 		}
 	}
-	return cur
+	return cur, nil
 }

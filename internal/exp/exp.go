@@ -35,6 +35,32 @@ type Measurer interface {
 	Measure(e portmap.Experiment) (float64, error)
 }
 
+// BatchMeasurer is an optional extension of Measurer for backends that
+// can measure a whole batch at once (e.g. measure.Harness, which fans
+// the deterministic simulations out over all cores). Results must be in
+// experiment order and identical to sequential Measure calls.
+type BatchMeasurer interface {
+	Measurer
+	MeasureAll(es []portmap.Experiment) ([]float64, error)
+}
+
+// measureAll measures a batch through the fastest interface the
+// measurer supports.
+func measureAll(m Measurer, es []portmap.Experiment) ([]float64, error) {
+	if bm, ok := m.(BatchMeasurer); ok {
+		return bm.MeasureAll(es)
+	}
+	out := make([]float64, len(es))
+	for i, e := range es {
+		tp, err := m.Measure(e)
+		if err != nil {
+			return nil, fmt.Errorf("experiment %d: %w", i, err)
+		}
+		out[i] = tp
+	}
+	return out, nil
+}
+
 // Set is a measured experiment set for an ISA with numInsts instructions.
 type Set struct {
 	NumInsts int
@@ -98,23 +124,25 @@ func GenerateAndMeasure(m Measurer, numInsts int) (*Set, error) {
 		NumInsts:   numInsts,
 		Individual: make([]float64, numInsts),
 	}
-	for i, e := range Singletons(numInsts) {
-		tp, err := m.Measure(e)
-		if err != nil {
-			return nil, fmt.Errorf("exp: singleton %d: %w", i, err)
-		}
-		if tp <= 0 {
-			return nil, fmt.Errorf("exp: singleton %d: non-positive throughput %g", i, tp)
-		}
-		set.Individual[i] = tp
-		set.Measurements = append(set.Measurements, Measurement{Exp: e, Throughput: tp})
+	singles := Singletons(numInsts)
+	tps, err := measureAll(m, singles)
+	if err != nil {
+		return nil, fmt.Errorf("exp: singletons: %w", err)
 	}
-	for _, e := range PairExperiments(set.Individual) {
-		tp, err := m.Measure(e)
-		if err != nil {
-			return nil, fmt.Errorf("exp: pair %v: %w", e, err)
+	for i, e := range singles {
+		if tps[i] <= 0 {
+			return nil, fmt.Errorf("exp: singleton %d: non-positive throughput %g", i, tps[i])
 		}
-		set.Measurements = append(set.Measurements, Measurement{Exp: e, Throughput: tp})
+		set.Individual[i] = tps[i]
+		set.Measurements = append(set.Measurements, Measurement{Exp: e, Throughput: tps[i]})
+	}
+	pairs := PairExperiments(set.Individual)
+	tps, err = measureAll(m, pairs)
+	if err != nil {
+		return nil, fmt.Errorf("exp: pairs: %w", err)
+	}
+	for i, e := range pairs {
+		set.Measurements = append(set.Measurements, Measurement{Exp: e, Throughput: tps[i]})
 	}
 	return set, nil
 }

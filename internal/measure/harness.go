@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"pmevo/internal/engine"
 	"pmevo/internal/isa"
 	"pmevo/internal/machine"
 	"pmevo/internal/portmap"
@@ -162,6 +163,19 @@ func (h *Harness) EmitProgram(e portmap.Experiment) (string, error) {
 // with multiplicative noise (Definition 1; §4.2 measurement formula
 // t*(e) = time × frequency / #instances).
 func (h *Harness) Measure(e portmap.Experiment) (float64, error) {
+	perInstance, err := h.simulate(e)
+	if err != nil {
+		return 0, err
+	}
+	return h.applyNoise(perInstance), nil
+}
+
+// simulate runs the deterministic part of a measurement: loop
+// construction and the steady-state simulation, yielding the noise-free
+// cycles per experiment instance. It touches no harness state, so
+// simulations of independent experiments may run concurrently (the
+// simulated machine is immutable).
+func (h *Harness) simulate(e portmap.Experiment) (float64, error) {
 	body, instances, err := h.BuildLoop(e)
 	if err != nil {
 		return 0, err
@@ -170,8 +184,14 @@ func (h *Harness) Measure(e portmap.Experiment) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	perInstance := cyclesPerIter / float64(instances)
+	return cyclesPerIter / float64(instances), nil
+}
 
+// applyNoise draws the configured repetitions of multiplicative
+// measurement noise and returns their median (§4.2). It consumes the
+// harness noise generator and accounting, so calls must occur in
+// measurement order.
+func (h *Harness) applyNoise(perInstance float64) float64 {
 	reps := make([]float64, h.opts.Repetitions)
 	for i := range reps {
 		noise := 1.0
@@ -185,25 +205,64 @@ func (h *Harness) Measure(e portmap.Experiment) (float64, error) {
 	}
 	sort.Float64s(reps)
 	h.measurements++
-	return reps[len(reps)/2], nil
+	return reps[len(reps)/2]
 }
 
-// MeasureAll measures a set of experiments, returning throughputs in the
-// same order.
+// MeasureAll measures a set of experiments, returning throughputs in
+// the same order. The deterministic simulations fan out over all cores;
+// noise is then applied sequentially in experiment order, so the result
+// is bit-identical to calling Measure in a loop. It implements
+// exp.BatchMeasurer.
 func (h *Harness) MeasureAll(es []portmap.Experiment) ([]float64, error) {
+	perInstance := make([]float64, len(es))
+	errs := make([]error, len(es))
+	engine.ForEach(len(es), 0, func(i int) {
+		perInstance[i], errs[i] = h.simulate(es[i])
+	})
 	out := make([]float64, len(es))
-	for i, e := range es {
-		tp, err := h.Measure(e)
-		if err != nil {
-			return nil, fmt.Errorf("experiment %d: %w", i, err)
+	for i := range es {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("experiment %d: %w", i, errs[i])
 		}
-		out[i] = tp
+		out[i] = h.applyNoise(perInstance[i])
 	}
 	return out, nil
 }
 
 // Measurements returns the number of Measure calls so far.
 func (h *Harness) Measurements() int { return h.measurements }
+
+// SubsetMeasurer adapts a harness to a dense instruction subset:
+// experiments use subset indices, and index i is measured as the
+// harness ISA's form IDs[i]. It implements exp.BatchMeasurer, so the
+// harness's parallel batch path stays reachable through subset
+// pipelines.
+type SubsetMeasurer struct {
+	H   *Harness
+	IDs []int
+}
+
+func (s SubsetMeasurer) translate(e portmap.Experiment) portmap.Experiment {
+	full := make(portmap.Experiment, len(e))
+	for i, t := range e {
+		full[i] = portmap.InstCount{Inst: s.IDs[t.Inst], Count: t.Count}
+	}
+	return full
+}
+
+// Measure measures one subset-space experiment.
+func (s SubsetMeasurer) Measure(e portmap.Experiment) (float64, error) {
+	return s.H.Measure(s.translate(e))
+}
+
+// MeasureAll measures a batch of subset-space experiments.
+func (s SubsetMeasurer) MeasureAll(es []portmap.Experiment) ([]float64, error) {
+	full := make([]portmap.Experiment, len(es))
+	for i, e := range es {
+		full[i] = s.translate(e)
+	}
+	return s.H.MeasureAll(full)
+}
 
 // SimulatedBenchmarkingCost estimates the wall-clock time the measured
 // experiments would have taken on the real system: per measurement, one

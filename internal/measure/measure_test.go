@@ -413,3 +413,43 @@ func TestRenderAsmVariants(t *testing.T) {
 		t.Errorf("immediate should render with $: %q", s2)
 	}
 }
+
+// TestMeasureAllMatchesSequentialMeasure pins the parallelization
+// contract of MeasureAll: fanning the simulations out over all cores
+// must leave the results bit-identical to sequential Measure calls,
+// because noise is drawn in experiment order either way.
+func TestMeasureAllMatchesSequentialMeasure(t *testing.T) {
+	proc := uarch.SKL()
+	es := []portmap.Experiment{}
+	for i := 0; i < 12; i++ {
+		es = append(es, portmap.Experiment{{Inst: proc.ISA.Form(i).ID, Count: 1 + i%3}})
+	}
+	seq, err := NewHarness(proc, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []float64
+	for _, e := range es {
+		tp, err := seq.Measure(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, tp)
+	}
+	par, err := NewHarness(proc, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := par.MeasureAll(es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range es {
+		if got[i] != want[i] {
+			t.Errorf("experiment %d: MeasureAll %g != Measure %g", i, got[i], want[i])
+		}
+	}
+	if par.Measurements() != seq.Measurements() {
+		t.Errorf("accounting diverged: %d vs %d", par.Measurements(), seq.Measurements())
+	}
+}

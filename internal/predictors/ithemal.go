@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"pmevo/internal/engine"
 	"pmevo/internal/isa"
 	"pmevo/internal/machine"
 	"pmevo/internal/measure"
@@ -56,7 +57,8 @@ func TrainIthemal(proc *uarch.Processor, opts IthemalOptions) (Predictor, error)
 	if opts.TrainingBlocks < 10 {
 		return nil, fmt.Errorf("ithemal: need at least 10 training blocks")
 	}
-	if opts.MaxBlockLen < 1 {
+	if opts.MaxBlockLen < 2 {
+		// Training blocks are always at least 2 instructions long.
 		return nil, fmt.Errorf("ithemal: invalid block length")
 	}
 	mach, err := proc.Machine()
@@ -82,8 +84,13 @@ func TrainIthemal(proc *uarch.Processor, opts IthemalOptions) (Predictor, error)
 	}
 	xty := make([]float64, nf)
 
-	feat := make([]float64, nf)
-	for b := 0; b < opts.TrainingBlocks; b++ {
+	// Generate all training blocks sequentially (the RNG stream fixes
+	// them), then simulate them in parallel — the simulator is immutable
+	// — and accumulate the normal equations in block order so training
+	// stays deterministic.
+	blockForms := make([][]*isa.Form, opts.TrainingBlocks)
+	bodies := make([][]machine.Inst, opts.TrainingBlocks)
+	for b := range blockForms {
 		blockLen := 2 + rng.Intn(opts.MaxBlockLen-1)
 		forms := make([]*isa.Form, blockLen)
 		for i := range forms {
@@ -97,16 +104,24 @@ func TrainIthemal(proc *uarch.Processor, opts IthemalOptions) (Predictor, error)
 		if err != nil {
 			return nil, err
 		}
-		body := measure.ToMachineInsts(insts)
-		cycles, err := steadyCycles(mach, body)
-		if err != nil {
-			return nil, err
-		}
+		blockForms[b] = forms
+		bodies[b] = measure.ToMachineInsts(insts)
+	}
+	cycles := make([]float64, opts.TrainingBlocks)
+	simErrs := make([]error, opts.TrainingBlocks)
+	engine.ForEach(opts.TrainingBlocks, 0, func(b int) {
+		cycles[b], simErrs[b] = steadyCycles(mach, bodies[b])
+	})
 
+	feat := make([]float64, nf)
+	for b := 0; b < opts.TrainingBlocks; b++ {
+		if simErrs[b] != nil {
+			return nil, simErrs[b]
+		}
 		for i := range feat {
 			feat[i] = 0
 		}
-		for _, f := range forms {
+		for _, f := range blockForms[b] {
 			feat[classIdx[f.Class]]++
 		}
 		feat[nf-1] = 1 // bias
@@ -117,7 +132,7 @@ func TrainIthemal(proc *uarch.Processor, opts IthemalOptions) (Predictor, error)
 			for j := 0; j < nf; j++ {
 				xtx[i][j] += feat[i] * feat[j]
 			}
-			xty[i] += feat[i] * cycles
+			xty[i] += feat[i] * cycles[b]
 		}
 	}
 	for i := 0; i < nf; i++ {

@@ -16,46 +16,112 @@
 //     dependency-free experiments (§5.3.1, Table 3).
 //
 // All predictors implement the Predictor interface; FromMapping adapts
-// any port mapping (including PMEvo's inferred ones) to it.
+// any port mapping (including PMEvo's inferred ones) to it. Throughput
+// computation goes through internal/engine's unified Predictor layer,
+// which also provides the batched, parallel PredictAll entry point.
 package predictors
 
 import (
 	"fmt"
 
+	"pmevo/internal/engine"
 	"pmevo/internal/portmap"
 	"pmevo/internal/throughput"
 	"pmevo/internal/uarch"
 )
 
 // Predictor estimates the steady-state throughput of an experiment in
-// cycles per experiment instance.
+// cycles per experiment instance. Implementations are safe for
+// concurrent use.
 type Predictor interface {
 	Name() string
 	Predict(e portmap.Experiment) (float64, error)
 }
 
-// mappingPredictor predicts via the bottleneck algorithm on a mapping.
+// batchPredictor is the optional batched extension of Predictor.
+type batchPredictor interface {
+	Predictor
+	PredictAll(es []portmap.Experiment, out []float64) error
+}
+
+// PredictAll evaluates a predictor on a whole benchmark set, writing
+// results into out (len(out) must equal len(es)). Predictors backed by
+// the engine layer use its batched implementation; everything else fans
+// out over the engine's worker pool.
+func PredictAll(p Predictor, es []portmap.Experiment, out []float64) error {
+	if bp, ok := p.(batchPredictor); ok {
+		return bp.PredictAll(es, out)
+	}
+	if len(out) != len(es) {
+		return fmt.Errorf("%s: output length %d does not match batch length %d", p.Name(), len(out), len(es))
+	}
+	return engine.ForEachErr(len(es), 0, func(i int) error {
+		v, err := p.Predict(es[i])
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+}
+
+// mappingPredictor binds a throughput engine to a fixed port mapping.
 type mappingPredictor struct {
 	name string
+	eng  engine.Predictor
 	m    *portmap.Mapping
 }
 
-// FromMapping adapts a port mapping to the Predictor interface using the
-// optimal-scheduler throughput model. PMEvo's inferred mappings are
-// evaluated through this adapter.
+// FromMapping adapts a port mapping to the Predictor interface using
+// the default (bottleneck) engine under the optimal-scheduler
+// throughput model. PMEvo's inferred mappings are evaluated through
+// this adapter.
 func FromMapping(name string, m *portmap.Mapping) Predictor {
-	return &mappingPredictor{name: name, m: m}
+	return FromMappingEngine(name, engine.Default(), m)
+}
+
+// FromMappingEngine is FromMapping with an explicit throughput engine
+// (e.g. the LP reference), for evaluating a mapping under a
+// non-default throughput model.
+func FromMappingEngine(name string, eng engine.Predictor, m *portmap.Mapping) Predictor {
+	return &mappingPredictor{name: name, eng: eng, m: m}
 }
 
 func (p *mappingPredictor) Name() string { return p.name }
 
 func (p *mappingPredictor) Predict(e portmap.Experiment) (float64, error) {
-	for _, t := range e {
-		if t.Inst < 0 || t.Inst >= p.m.NumInsts() {
-			return 0, fmt.Errorf("%s: instruction %d out of range", p.name, t.Inst)
-		}
+	v, err := p.eng.Predict(p.m, e)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", p.name, err)
 	}
-	return throughput.OfExperiment(p.m, e), nil
+	return v, nil
+}
+
+func (p *mappingPredictor) PredictAll(es []portmap.Experiment, out []float64) error {
+	if err := p.eng.PredictAll(p.m, es, out); err != nil {
+		return fmt.Errorf("%s: %w", p.name, err)
+	}
+	return nil
+}
+
+// boundEngine adapts a bound heuristic predictor (IACA, llvm-mca,
+// Ithemal, ...) to the engine.Predictor interface. The mapping argument
+// is ignored: heuristic predictors carry their own model.
+type boundEngine struct{ p Predictor }
+
+// AsEngine lifts any Predictor into the engine.Predictor interface so
+// heuristic baselines can flow through code written against the unified
+// engine layer.
+func AsEngine(p Predictor) engine.Predictor { return boundEngine{p} }
+
+func (b boundEngine) Name() string { return b.p.Name() }
+
+func (b boundEngine) Predict(_ *portmap.Mapping, e portmap.Experiment) (float64, error) {
+	return b.p.Predict(e)
+}
+
+func (b boundEngine) PredictAll(_ *portmap.Mapping, es []portmap.Experiment, out []float64) error {
+	return PredictAll(b.p, es, out)
 }
 
 // UopsInfo builds the uops.info-style predictor: the exact documented

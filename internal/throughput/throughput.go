@@ -60,11 +60,85 @@ type Evaluator struct {
 	sums  []float64
 	flat  []portmap.MassTerm
 	masks []maskMass
+	midx  map[portmap.PortSet]int32 // reusable index for wide merges
 }
 
 type maskMass struct {
 	ports portmap.PortSet
 	mass  float64
+}
+
+// smallMergeCutoff bounds the term count up to which merging masses by
+// port set uses a linear scan of the merged list. The §4.1 pair
+// experiments flatten to a handful of terms, where the scan beats any
+// map; beyond the cutoff (long experiments, many-µop mappings) the scan
+// is O(d²) in the distinct port sets and a reusable index map wins.
+const smallMergeCutoff = 16
+
+// mergeTerms merges the non-zero masses of terms by port set into
+// ev.masks — preserving first-occurrence order, so downstream float
+// summation is independent of the merge strategy — and returns the
+// union of occurring ports. ok=false signals a positive mass on an
+// empty port set (the experiment cannot execute: throughput +Inf).
+func (ev *Evaluator) mergeTerms(terms []portmap.MassTerm) (used portmap.PortSet, ok bool) {
+	if len(terms) > smallMergeCutoff {
+		return ev.mergeTermsIndexed(terms)
+	}
+	return ev.mergeTermsLinear(terms)
+}
+
+// mergeTermsLinear is the small-input path of mergeTerms: a linear
+// scan of the merged list per term.
+func (ev *Evaluator) mergeTermsLinear(terms []portmap.MassTerm) (used portmap.PortSet, ok bool) {
+	ev.masks = ev.masks[:0]
+	for _, t := range terms {
+		if t.Mass == 0 {
+			continue
+		}
+		if t.Ports.IsEmpty() {
+			return 0, false
+		}
+		used |= t.Ports
+		found := false
+		for i := range ev.masks {
+			if ev.masks[i].ports == t.Ports {
+				ev.masks[i].mass += t.Mass
+				found = true
+				break
+			}
+		}
+		if !found {
+			ev.masks = append(ev.masks, maskMass{ports: t.Ports, mass: t.Mass})
+		}
+	}
+	return used, true
+}
+
+// mergeTermsIndexed is the wide-input path of mergeTerms: an index map
+// from port set to position in ev.masks replaces the linear scan.
+func (ev *Evaluator) mergeTermsIndexed(terms []portmap.MassTerm) (used portmap.PortSet, ok bool) {
+	ev.masks = ev.masks[:0]
+	if ev.midx == nil {
+		ev.midx = make(map[portmap.PortSet]int32, len(terms))
+	} else {
+		clear(ev.midx)
+	}
+	for _, t := range terms {
+		if t.Mass == 0 {
+			continue
+		}
+		if t.Ports.IsEmpty() {
+			return 0, false
+		}
+		used |= t.Ports
+		if i, found := ev.midx[t.Ports]; found {
+			ev.masks[i].mass += t.Mass
+		} else {
+			ev.midx[t.Ports] = int32(len(ev.masks))
+			ev.masks = append(ev.masks, maskMass{ports: t.Ports, mass: t.Mass})
+		}
+	}
+	return used, true
 }
 
 // ThroughputOf flattens experiment e under mapping m (reducing the
@@ -83,27 +157,9 @@ func (ev *Evaluator) ThroughputOf(m *portmap.Mapping, e portmap.Experiment) floa
 // the subset-sum table over the occurring ports.
 func (ev *Evaluator) Bottleneck(terms []portmap.MassTerm) float64 {
 	// Merge masses by port set and collect the union of occurring ports.
-	ev.masks = ev.masks[:0]
-	var used portmap.PortSet
-	for _, t := range terms {
-		if t.Mass == 0 {
-			continue
-		}
-		if t.Ports.IsEmpty() {
-			return math.Inf(1)
-		}
-		used |= t.Ports
-		found := false
-		for i := range ev.masks {
-			if ev.masks[i].ports == t.Ports {
-				ev.masks[i].mass += t.Mass
-				found = true
-				break
-			}
-		}
-		if !found {
-			ev.masks = append(ev.masks, maskMass{ports: t.Ports, mass: t.Mass})
-		}
+	used, ok := ev.mergeTerms(terms)
+	if !ok {
+		return math.Inf(1)
 	}
 	if used.IsEmpty() {
 		return 0
@@ -124,27 +180,9 @@ func (ev *Evaluator) Bottleneck(terms []portmap.MassTerm) float64 {
 // reproduction measures this variant so the exponential port-count
 // behaviour the paper reports remains visible.
 func (ev *Evaluator) BottleneckTable(terms []portmap.MassTerm) float64 {
-	ev.masks = ev.masks[:0]
-	var used portmap.PortSet
-	for _, t := range terms {
-		if t.Mass == 0 {
-			continue
-		}
-		if t.Ports.IsEmpty() {
-			return math.Inf(1)
-		}
-		used |= t.Ports
-		found := false
-		for i := range ev.masks {
-			if ev.masks[i].ports == t.Ports {
-				ev.masks[i].mass += t.Mass
-				found = true
-				break
-			}
-		}
-		if !found {
-			ev.masks = append(ev.masks, maskMass{ports: t.Ports, mass: t.Mass})
-		}
+	used, ok := ev.mergeTerms(terms)
+	if !ok {
+		return math.Inf(1)
 	}
 	if used.IsEmpty() {
 		return 0

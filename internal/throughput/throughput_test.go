@@ -441,3 +441,86 @@ func TestAnalyzeLoadConservation(t *testing.T) {
 		}
 	}
 }
+
+// wideTerms builds a term list far above smallMergeCutoff with many
+// duplicate port sets, the workload where the merge strategy matters.
+func wideTerms(rng *rand.Rand, numTerms, numPorts, distinct int) []portmap.MassTerm {
+	sets := make([]portmap.PortSet, distinct)
+	for i := range sets {
+		var p portmap.PortSet
+		for p.IsEmpty() {
+			for k := 0; k < numPorts; k++ {
+				if rng.Intn(3) == 0 {
+					p = p.With(k)
+				}
+			}
+		}
+		sets[i] = p
+	}
+	terms := make([]portmap.MassTerm, numTerms)
+	for i := range terms {
+		terms[i] = portmap.MassTerm{Ports: sets[rng.Intn(distinct)], Mass: 1 + rng.Float64()}
+	}
+	return terms
+}
+
+// TestMergeTermsIndexedMatchesLinear checks that the wide-input index
+// path of mergeTerms produces the identical merged list (same
+// first-occurrence order, same masses) as the linear path.
+func TestMergeTermsIndexedMatchesLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		terms := wideTerms(rng, smallMergeCutoff+1+rng.Intn(200), 10, 1+rng.Intn(30))
+		var linEv, idxEv Evaluator
+		linUsed, linOK := linEv.mergeTermsLinear(terms)
+		idxUsed, idxOK := idxEv.mergeTermsIndexed(terms)
+		if linOK != idxOK || linUsed != idxUsed {
+			t.Fatalf("trial %d: (used, ok) diverged: (%v,%v) vs (%v,%v)",
+				trial, linUsed, linOK, idxUsed, idxOK)
+		}
+		if len(linEv.masks) != len(idxEv.masks) {
+			t.Fatalf("trial %d: %d vs %d merged terms", trial, len(linEv.masks), len(idxEv.masks))
+		}
+		for i := range linEv.masks {
+			if linEv.masks[i] != idxEv.masks[i] {
+				t.Fatalf("trial %d: merged term %d diverged: %+v vs %+v",
+					trial, i, linEv.masks[i], idxEv.masks[i])
+			}
+		}
+	}
+}
+
+
+// BenchmarkMergeTerms compares the pre-optimization O(d²) linear-scan
+// merge against the indexed merge on a wide workload (512 terms, 160
+// distinct port sets), and documents that the linear scan stays ahead
+// on the narrow workloads of the evolutionary hot loop.
+func BenchmarkMergeTerms(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	wide := wideTerms(rng, 512, 12, 160)
+	narrow := wideTerms(rng, 8, 6, 4)
+	b.Run("Wide/Linear", func(b *testing.B) {
+		var ev Evaluator
+		for i := 0; i < b.N; i++ {
+			ev.mergeTermsLinear(wide)
+		}
+	})
+	b.Run("Wide/Indexed", func(b *testing.B) {
+		var ev Evaluator
+		for i := 0; i < b.N; i++ {
+			ev.mergeTermsIndexed(wide)
+		}
+	})
+	b.Run("Narrow/Linear", func(b *testing.B) {
+		var ev Evaluator
+		for i := 0; i < b.N; i++ {
+			ev.mergeTermsLinear(narrow)
+		}
+	})
+	b.Run("Narrow/Dispatched", func(b *testing.B) {
+		var ev Evaluator
+		for i := 0; i < b.N; i++ {
+			ev.mergeTerms(narrow)
+		}
+	})
+}

@@ -26,6 +26,7 @@ package pmevo
 
 import (
 	"pmevo/internal/core"
+	"pmevo/internal/engine"
 	"pmevo/internal/evo"
 	"pmevo/internal/exp"
 	"pmevo/internal/isa"
@@ -61,6 +62,17 @@ type Form = isa.Form
 // hardware.
 type Measurer = exp.Measurer
 
+// BatchMeasurer is an optional Measurer extension for backends that can
+// measure a whole batch at once; the pipeline uses it when available.
+type BatchMeasurer = exp.BatchMeasurer
+
+// Predictor is the unified throughput-engine interface: it predicts the
+// steady-state throughput of experiments under a port mapping, single
+// or batched, and is safe for concurrent use. Engines are selected by
+// name with EngineByName; the batched PredictAll form fans out over a
+// worker pool.
+type Predictor = engine.Predictor
+
 // Config configures an inference run.
 type Config = core.Config
 
@@ -90,6 +102,16 @@ func Infer(a *ISA, m Measurer, cfg Config) (*Result, error) { return core.Infer(
 // under a port mapping with the bottleneck simulation algorithm (paper
 // §4.5), in cycles per experiment instance.
 func Throughput(m *Mapping, e Experiment) float64 { return throughput.OfExperiment(m, e) }
+
+// EngineNames returns the names of the selectable throughput engines:
+// "bottleneck" (the production §4.5 simulation algorithm), "lp" (the
+// Definition 3 linear program), "union" and "naive" (ablation
+// variants).
+func EngineNames() []string { return engine.Names() }
+
+// EngineByName returns the named throughput engine; the empty string
+// selects the default (bottleneck) engine.
+func EngineByName(name string) (Predictor, error) { return engine.ByName(name) }
 
 // Analyze computes an optimal port allocation for an experiment under a
 // mapping: throughput, per-port load, and the bottleneck port set.
