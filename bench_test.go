@@ -232,6 +232,47 @@ func BenchmarkBottleneckUnion(b *testing.B) {
 	}
 }
 
+// --- Memoized + incremental fitness evaluation ------------------------
+
+// BenchmarkFitnessEvolution measures the population fitness loop at
+// QuickScale: the §4.4 evolutionary loop plus greedy local search over
+// the 12-instruction/8-port ablation set, with the engine's redundancy-
+// exploiting layer (throughput memo, duplicate-candidate skip, delta
+// local search) enabled. BenchmarkFitnessEvolutionNoCache is the same
+// loop with the layer disabled — results are bit-identical (pinned in
+// internal/evo) — so the pair quantifies the caching speedup. The
+// evals/s metric is candidate Davg computations per second.
+
+func BenchmarkFitnessEvolution(b *testing.B) { benchFitnessEvolution(b, false) }
+
+func BenchmarkFitnessEvolutionNoCache(b *testing.B) { benchFitnessEvolution(b, true) }
+
+func benchFitnessEvolution(b *testing.B, disableCache bool) {
+	scale := eval.QuickScale()
+	set := ablationSet(b)
+	opts := evo.Options{
+		PopulationSize:  scale.Population,
+		MaxGenerations:  scale.MaxGenerations,
+		NumPorts:        8,
+		LocalSearch:     true,
+		VolumeObjective: true,
+		Seed:            3,
+		DisableCache:    disableCache,
+	}
+	b.ResetTimer()
+	evals := 0
+	for i := 0; i < b.N; i++ {
+		res, err := evo.Run(set, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		evals += res.FitnessEvaluations
+	}
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(evals)/s, "evals/s")
+	}
+}
+
 // --- Ablation: evolutionary algorithm design choices -----------------
 
 // ablationSet builds a measured experiment set over a hidden 8-port

@@ -55,7 +55,7 @@ type benchRecord struct {
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiment to run: table1|table2|table3|table4|figure6|figure7|figure8|engines|all")
+	expFlag := flag.String("exp", "all", "experiment to run: table1|table2|table3|table4|figure6|figure7|figure8|engines|fitness|all")
 	scaleFlag := flag.String("scale", "default", "experiment scale: quick|default|full")
 	engineFlag := flag.String("engine", "bottleneck",
 		"throughput engine for the engines consistency dump: "+strings.Join(engine.Names(), "|"))
@@ -95,10 +95,10 @@ func main() {
 	want := map[string]bool{}
 	switch *expFlag {
 	case "all":
-		for _, e := range []string{"table1", "table2", "table3", "table4", "figure6", "figure7", "figure8", "engines"} {
+		for _, e := range []string{"table1", "table2", "table3", "table4", "figure6", "figure7", "figure8", "engines", "fitness"} {
 			want[e] = true
 		}
-	case "table1", "table2", "table3", "table4", "figure6", "figure7", "figure8", "figure8a", "figure8b", "ablation", "engines":
+	case "table1", "table2", "table3", "table4", "figure6", "figure7", "figure8", "figure8a", "figure8b", "ablation", "engines", "fitness":
 		want[*expFlag] = true
 	default:
 		fatalf("unknown experiment %q", *expFlag)
@@ -120,6 +120,27 @@ func main() {
 		fmt.Println(res.Render())
 		writeCSV(*csvDir, "engines.csv", res.WriteCSV)
 		record("engines", *engineFlag, start, map[string]float64{"experiments": float64(len(res.Lines))})
+	}
+
+	if want["fitness"] {
+		progress("running fitness-evaluation benchmark (cached vs uncached)")
+		start := time.Now()
+		res, err := eval.RunFitnessBench(scale)
+		if err != nil {
+			fatalf("fitness: %v", err)
+		}
+		fmt.Println(res.Render())
+		writeCSV(*csvDir, "fitness.csv", res.WriteCSV)
+		record("fitness", "", start, map[string]float64{
+			"evals_per_sec":          res.Cached.EvalsPerSec,
+			"evals_per_sec_uncached": res.Uncached.EvalsPerSec,
+			"speedup":                res.Speedup(),
+			"evaluations":            float64(res.Cached.Evaluations),
+			"memo_hits":              float64(res.Cached.MemoHits),
+			"memo_misses":            float64(res.Cached.MemoMisses),
+			"delta_evals":            float64(res.Cached.DeltaEvals),
+			"delta_exps_skipped":     float64(res.Cached.DeltaExpsSkipped),
+		})
 	}
 
 	if want["figure6"] {

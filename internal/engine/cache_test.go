@@ -1,0 +1,444 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"pmevo/internal/portmap"
+	"pmevo/internal/throughput"
+)
+
+// newServicePair builds two services over the same measured set: one
+// with the memo enabled (the default) and one with caching disabled.
+func newServicePair(t *testing.T, rng *rand.Rand, numInsts, numPorts int) (*Service, *Service) {
+	t.Helper()
+	_, set := measuredSet(t, rng, numInsts, numPorts)
+	memo, err := NewService(set, ServiceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewService(set, ServiceOptions{MemoEntries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if memo.memo == nil {
+		t.Fatal("default service has no memo")
+	}
+	if plain.memo != nil {
+		t.Fatal("MemoEntries < 0 did not disable the memo")
+	}
+	return memo, plain
+}
+
+// TestMemoizedDavgBitIdentical is the central memo property: on random
+// mappings — including repeated evaluations of equal mappings, which hit
+// the memo — the memoized Davg must be bit-identical to the uncached
+// davgWith-style computation.
+func TestMemoizedDavgBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	memo, plain := newServicePair(t, rng, 10, 4)
+	for trial := 0; trial < 40; trial++ {
+		m := portmap.Random(rng, portmap.RandomOptions{NumInsts: 10, NumPorts: 4, MaxUops: 3})
+		want, err := plain.Evaluate(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rep := 0; rep < 2; rep++ { // rep 1 evaluates through memo hits
+			got, err := memo.Evaluate(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("trial %d rep %d: memoized %+v != uncached %+v", trial, rep, got, want)
+			}
+			// A structurally equal clone shares all fingerprints and must
+			// hit the same memo entries.
+			got2, err := memo.Evaluate(m.Clone())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got2 != want {
+				t.Fatalf("trial %d rep %d: clone %+v != uncached %+v", trial, rep, got2, want)
+			}
+		}
+	}
+	st := memo.Stats()
+	if st.MemoHits == 0 {
+		t.Error("repeated evaluations produced no memo hits")
+	}
+	if st.MemoMisses == 0 {
+		t.Error("no memo misses recorded")
+	}
+	if total := st.MemoHits + st.MemoMisses; total != int64(memo.NumExperiments())*int64(memo.Evaluations()) {
+		t.Errorf("hits+misses = %d, want experiments*evaluations = %d",
+			total, int64(memo.NumExperiments())*int64(memo.Evaluations()))
+	}
+}
+
+// TestEvaluateDeltaBitIdentical drives random single-instruction edit
+// sequences through the NewState/EvaluateDelta/Commit protocol — with
+// and without the memo — and checks every pending and committed fitness
+// bitwise against a fresh full evaluation of an equal mapping.
+func TestEvaluateDeltaBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	memo, plain := newServicePair(t, rng, 9, 4)
+	for _, svc := range []*Service{memo, plain} {
+		for trial := 0; trial < 12; trial++ {
+			m := portmap.Random(rng, portmap.RandomOptions{NumInsts: 9, NumPorts: 4, MaxUops: 3})
+			st, err := svc.NewState(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			full, err := plain.Evaluate(m.Clone())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Fitness() != full {
+				t.Fatalf("trial %d: NewState %+v != full %+v", trial, st.Fitness(), full)
+			}
+			for edit := 0; edit < 30; edit++ {
+				inst := rng.Intn(9)
+				j := rng.Intn(len(m.Decomp[inst]))
+				// Random probe: bump a count, drop a µop, or add one.
+				var revert func()
+				switch op := rng.Intn(3); {
+				case op == 0:
+					orig := m.Decomp[inst][j].Count
+					m.SetUopCount(inst, j, orig+1)
+					revert = func() { m.SetUopCount(inst, j, orig) }
+				case op == 1 && len(m.Decomp[inst]) > 1:
+					uc := m.RemoveUopAt(inst, j)
+					revert = func() { m.InsertUopAt(inst, j, uc) }
+				default:
+					ports := portmap.RandomPortSet(rng, 4)
+					before := append([]portmap.UopCount(nil), m.Decomp[inst]...)
+					m.AddUop(inst, ports, 1+rng.Intn(2))
+					revert = func() { m.SetDecomp(inst, before) }
+				}
+				fit, err := svc.EvaluateDelta(st, inst)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := plain.Evaluate(m.Clone())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fit != want {
+					t.Fatalf("trial %d edit %d: delta %+v != full %+v", trial, edit, fit, want)
+				}
+				if rng.Intn(2) == 0 {
+					st.Commit()
+					if st.Fitness() != want {
+						t.Fatalf("trial %d edit %d: committed %+v != full %+v", trial, edit, st.Fitness(), want)
+					}
+				} else {
+					revert()
+				}
+			}
+			// After the edit sequence the state must still agree with a
+			// fresh full evaluation (one more delta on a no-op edit).
+			m.SetUopCount(0, 0, m.Decomp[0][0].Count+1)
+			fit, err := svc.EvaluateDelta(st, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := plain.Evaluate(m.Clone())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fit != want {
+				t.Fatalf("trial %d: final delta %+v != full %+v", trial, fit, want)
+			}
+		}
+	}
+	if memo.Stats().DeltaEvaluations == 0 || plain.Stats().DeltaEvaluations == 0 {
+		t.Error("no delta evaluations recorded")
+	}
+	if memo.Stats().DeltaExperimentsSkipped == 0 {
+		t.Error("delta evaluation skipped no experiments on §4.1-style sets")
+	}
+}
+
+// TestEvaluateDeltaGenericPredictor runs the delta protocol through a
+// generic (non-fast-path) engine and checks it against full generic
+// evaluations.
+func TestEvaluateDeltaGenericPredictor(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	_, set := measuredSet(t, rng, 6, 3)
+	union, err := ByName("union")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(set, ServiceOptions{Predictor: union})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := portmap.Random(rng, portmap.RandomOptions{NumInsts: 6, NumPorts: 3, MaxUops: 2})
+	st, err := svc.NewState(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for edit := 0; edit < 10; edit++ {
+		inst := rng.Intn(6)
+		m.SetUopCount(inst, 0, m.Decomp[inst][0].Count+1)
+		fit, err := svc.EvaluateDelta(st, inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.Commit()
+		want, err := svc.Evaluate(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fit != want {
+			t.Fatalf("edit %d: generic delta %+v != full %+v", edit, fit, want)
+		}
+	}
+}
+
+// TestEvaluateDeltaValidation covers the error paths of the delta API.
+func TestEvaluateDeltaValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	_, set := measuredSet(t, rng, 5, 3)
+	svc, err := NewService(set, ServiceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := NewService(set, ServiceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.NewState(portmap.NewMapping(2, 3)); err == nil {
+		t.Error("undersized mapping accepted")
+	}
+	m := portmap.Random(rng, portmap.RandomOptions{NumInsts: 5, NumPorts: 3})
+	st, err := svc.NewState(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.EvaluateDelta(st, -1); err == nil {
+		t.Error("negative instruction accepted")
+	}
+	if _, err := svc.EvaluateDelta(st, 99); err == nil {
+		t.Error("out-of-range instruction accepted")
+	}
+	if _, err := other.EvaluateDelta(st, 0); err == nil {
+		t.Error("foreign fitness state accepted")
+	}
+	st.Commit() // no pending delta: must be a no-op
+	if st.Mapping() != m {
+		t.Error("Mapping() does not return the tracked mapping")
+	}
+}
+
+// TestMemoConcurrentEvaluation hammers one memoized service from many
+// goroutines over a small pool of shared mappings; under -race this
+// verifies the lock-free memo and the pure fingerprint reads, and every
+// result must match the uncached reference.
+func TestMemoConcurrentEvaluation(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	memo, plain := newServicePair(t, rng, 8, 4)
+	mappings := make([]*portmap.Mapping, 6)
+	want := make([]Fitness, len(mappings))
+	for i := range mappings {
+		mappings[i] = portmap.Random(rng, portmap.RandomOptions{NumInsts: 8, NumPorts: 4, MaxUops: 2})
+		f, err := plain.Evaluate(mappings[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = f
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 50; iter++ {
+				k := (g + iter) % len(mappings)
+				got, err := memo.Evaluate(mappings[k])
+				if err != nil {
+					t.Errorf("Evaluate: %v", err)
+					return
+				}
+				if got != want[k] {
+					t.Errorf("concurrent memoized Evaluate diverged: %+v != %+v", got, want[k])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Batched evaluation over a population with many duplicates.
+	pop := make([]*portmap.Mapping, 64)
+	fits := make([]Fitness, len(pop))
+	for i := range pop {
+		pop[i] = mappings[i%len(mappings)]
+	}
+	if err := memo.EvaluateAll(pop, fits); err != nil {
+		t.Fatal(err)
+	}
+	for i := range pop {
+		if fits[i] != want[i%len(mappings)] {
+			t.Fatalf("batch %d: %+v != %+v", i, fits[i], want[i%len(mappings)])
+		}
+	}
+}
+
+// TestInvertedIndex checks the instruction → experiments index against a
+// direct scan.
+func TestInvertedIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	_, set := measuredSet(t, rng, 7, 3)
+	svc, err := NewService(set, ServiceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for inst := 0; inst < 7; inst++ {
+		var want []int32
+		for i, m := range set.Measurements {
+			for _, term := range m.Exp {
+				if term.Inst == inst {
+					want = append(want, int32(i))
+					break
+				}
+			}
+		}
+		got := svc.instExps[inst]
+		if len(got) != len(want) {
+			t.Fatalf("inst %d: index has %d experiments, want %d", inst, len(got), len(want))
+		}
+		for k := range got {
+			if got[k] != want[k] {
+				t.Fatalf("inst %d: index[%d] = %d, want %d", inst, k, got[k], want[k])
+			}
+		}
+		if svc.ExperimentsWith(inst) != len(want) {
+			t.Fatalf("ExperimentsWith(%d) = %d, want %d", inst, svc.ExperimentsWith(inst), len(want))
+		}
+		// §4.1 sets are pair experiments: the per-instruction slice must
+		// be a strict subset of all experiments.
+		if len(got) >= svc.NumExperiments() {
+			t.Fatalf("inst %d: index not sparse (%d of %d)", inst, len(got), svc.NumExperiments())
+		}
+	}
+}
+
+// TestNegativeCountRejected: NewService must reject negative experiment
+// counts (the parts-based fast path relies on non-negative masses).
+func TestNegativeCountRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	_, set := measuredSet(t, rng, 4, 3)
+	set.Measurements[0].Exp = portmap.Experiment{{Inst: 0, Count: -1}}
+	if _, err := NewService(set, ServiceOptions{}); err == nil {
+		t.Error("negative experiment count accepted")
+	}
+}
+
+// TestEvaluateDeltaOversizedMapping: NewState admits mappings covering
+// more instructions than the experiment set; probing and committing an
+// edit on an extra instruction (which occurs in no experiment) must
+// change only the volume — and must not crash.
+func TestEvaluateDeltaOversizedMapping(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	_, set := measuredSet(t, rng, 4, 3)
+	svc, err := NewService(set, ServiceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := portmap.Random(rng, portmap.RandomOptions{NumInsts: 6, NumPorts: 3, MaxUops: 2})
+	st, err := svc.NewState(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := st.Fitness()
+	m.SetUopCount(5, 0, m.Decomp[5][0].Count+1)
+	fit, err := svc.EvaluateDelta(st, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Commit()
+	if fit.Davg != base.Davg {
+		t.Errorf("editing an unused instruction changed Davg: %v -> %v", base.Davg, fit.Davg)
+	}
+	if fit.Volume != m.Volume() {
+		t.Errorf("Volume = %d, want %d", fit.Volume, m.Volume())
+	}
+	if _, err := svc.EvaluateDelta(st, 6); err == nil {
+		t.Error("instruction beyond the mapping accepted")
+	}
+}
+
+// failingPredictor errors on every experiment after the first `allow`
+// predictions.
+type failingPredictor struct {
+	allow int
+	seen  int
+}
+
+func (p *failingPredictor) Name() string { return "failing" }
+
+func (p *failingPredictor) Predict(m *portmap.Mapping, e portmap.Experiment) (float64, error) {
+	p.seen++
+	if p.seen > p.allow {
+		return 0, fmt.Errorf("induced failure")
+	}
+	return throughput.OfExperiment(m, e), nil
+}
+
+func (p *failingPredictor) PredictAll(m *portmap.Mapping, es []portmap.Experiment, out []float64) error {
+	for i, e := range es {
+		v, err := p.Predict(m, e)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+	}
+	return nil
+}
+
+// TestEvaluateDeltaErrorInvalidatesPending: a failed EvaluateDelta must
+// leave no pending delta, so a stray Commit cannot fold partial
+// predictions into the state.
+func TestEvaluateDeltaErrorInvalidatesPending(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	_, set := measuredSet(t, rng, 4, 3)
+	pred := &failingPredictor{allow: 1 << 30}
+	svc, err := NewService(set, ServiceOptions{Predictor: pred})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewService(set, ServiceOptions{MemoEntries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := portmap.Random(rng, portmap.RandomOptions{NumInsts: 4, NumPorts: 3, MaxUops: 2})
+	st, err := svc.NewState(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred.allow = pred.seen + 1 // next delta fails partway through
+	m.SetUopCount(0, 0, m.Decomp[0][0].Count+1)
+	if _, err := svc.EvaluateDelta(st, 0); err == nil {
+		t.Fatal("induced failure did not surface")
+	}
+	m.SetUopCount(0, 0, m.Decomp[0][0].Count-1) // revert the edit
+	st.Commit()                                 // must be a no-op
+	want, err := plain.Evaluate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Fitness() != want {
+		t.Errorf("state corrupted after failed delta: %+v != %+v", st.Fitness(), want)
+	}
+	pred.allow = 1 << 30
+	fit, err := svc.EvaluateDelta(st, 0) // the no-op edit: same mapping
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit != want {
+		t.Errorf("recovered delta %+v != full %+v", fit, want)
+	}
+}

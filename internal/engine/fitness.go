@@ -25,25 +25,69 @@ type ServiceOptions struct {
 	// Workers is the parallelism of EvaluateAll (<= 0: GOMAXPROCS).
 	Workers int
 	// Predictor selects the throughput engine. nil selects the built-in
-	// bottleneck fast path, which evaluates with zero allocation and
-	// per-worker reusable evaluator state; any other engine goes through
-	// the generic Predict interface.
+	// bottleneck fast path, which evaluates with zero allocation,
+	// per-worker reusable evaluator state, and the shared throughput
+	// memo; any other engine goes through the generic Predict interface
+	// (no memoization).
 	Predictor Predictor
+	// MemoEntries bounds the shared per-experiment throughput memo
+	// (slots, rounded up to a power of two). 0 selects a default scaled
+	// to the experiment count; negative disables memoization entirely.
+	// The memo only accelerates the built-in bottleneck fast path.
+	MemoEntries int
+}
+
+// CacheStats is a snapshot of a Service's evaluation counters. The
+// memo/delta counters quantify how much redundant work the caching layer
+// eliminated; pmevo-bench's fitness experiment reports them.
+type CacheStats struct {
+	// Evaluations counts Davg computations: every candidate passed to
+	// Evaluate/EvaluateAll/NewState plus every EvaluateDelta probe.
+	Evaluations int64
+	// DeltaEvaluations counts the EvaluateDelta subset.
+	DeltaEvaluations int64
+	// MemoHits / MemoMisses count per-experiment memo lookups on the
+	// fast path (hits + misses = experiments actually inspected).
+	MemoHits   int64
+	MemoMisses int64
+	// DeltaExperimentsSkipped counts experiments EvaluateDelta did not
+	// have to re-predict because the changed instruction does not occur
+	// in them.
+	DeltaExperimentsSkipped int64
 }
 
 // Service evaluates candidate port mappings against a fixed measured
-// experiment set. It is the fitness-evaluation layer of the
-// evolutionary algorithm (§4.4/§4.5): construction pre-flattens the
-// experiment set into contiguous storage, and batched evaluation fans
-// out over a worker pool whose workers each own a reusable
-// throughput.Evaluator, so the per-candidate hot loop allocates
-// nothing.
+// experiment set. It is the fitness-evaluation layer of the evolutionary
+// algorithm (§4.4/§4.5). Construction pre-flattens the experiment set
+// into contiguous storage and builds an inverted index (instruction →
+// experiments containing it); batched evaluation fans out over a worker
+// pool whose workers each own reusable evaluator state, so the
+// per-candidate hot loop allocates nothing.
+//
+// Two layers make the hot loop sublinear in redundant work:
+//
+//   - a bounded, shared, lock-free throughput memo keyed by the
+//     decomposition-fingerprint tuple of each experiment's instructions:
+//     duplicate decompositions across the 2p candidates of a generation
+//     (recombined children share µop decompositions with their parents)
+//     are evaluated once;
+//   - the incremental NewState/EvaluateDelta API: re-evaluating after a
+//     single-instruction change only re-predicts the experiments that
+//     contain the changed instruction, turning a local-search probe from
+//     O(#experiments) into O(#experiments containing the instruction).
+//
+// Both layers are bit-exact: memoized values are the exact floats a
+// fresh evaluation would produce (fingerprint equality stands in for
+// decomposition equality at ~2^-64 collision odds), and delta evaluation
+// re-accumulates the error sum in experiment order, so Davg is
+// bit-identical to a full evaluation.
 //
 // Evaluate may be called concurrently; EvaluateAll runs one batch at a
 // time (per-worker state is reused across batches).
 type Service struct {
-	workers int
-	pred    Predictor // nil: bottleneck fast path
+	workers  int
+	numInsts int
+	pred     Predictor // nil: bottleneck fast path
 
 	// Pre-flattened experiment set: experiment i is
 	// terms[offs[i]:offs[i+1]] with measured throughput meas[i].
@@ -51,9 +95,124 @@ type Service struct {
 	offs  []int32
 	meas  []float64
 
-	workerEv []throughput.Evaluator // per-worker state for EvaluateAll
-	pool     sync.Pool              // *throughput.Evaluator for Evaluate
-	evals    atomic.Int64
+	// instExps is the inverted index: instExps[i] lists (sorted,
+	// deduplicated) the experiments whose multiset contains instruction
+	// i. EvaluateDelta re-predicts exactly these.
+	instExps [][]int32
+
+	// expSalt[i] seeds experiment i's memo key, so equal fingerprint
+	// tuples of different experiments (different counts) never alias.
+	expSalt []uint64
+	memo    *memoTable // nil: memoization disabled
+
+	workerSc []evalScratch // per-worker state for EvaluateAll
+	pool     sync.Pool     // *evalScratch for Evaluate
+
+	evals        atomic.Int64
+	deltaEvals   atomic.Int64
+	memoHits     atomic.Int64
+	memoMisses   atomic.Int64
+	deltaSkipped atomic.Int64
+}
+
+// maxTableFastPorts gates the per-instruction subset-sum-table fast
+// path: tables have 2^|P| entries per instruction, so the path is
+// restricted to realistic port counts (the paper's machines have ≤ 10).
+// Wider mappings fall back to the pre-flattened-terms path.
+const maxTableFastPorts = 11
+
+// evalScratch is one worker's reusable evaluation state: the throughput
+// evaluator plus per-instruction derived data — subset-sum unit tables
+// and pre-flattened unit mass terms — keyed by decomposition
+// fingerprint, so they are (re)built only when an instruction's
+// decomposition actually differs from the one last seen by this worker.
+// Experiments sharing an instruction reuse them within a candidate, and
+// candidates sharing decompositions reuse them across the batch.
+type evalScratch struct {
+	ev throughput.Evaluator
+
+	k       int      // port count the tables are built for
+	tblFp   []uint64 // fingerprint each table was built from (0: none)
+	tblUsed []portmap.PortSet
+	tblInf  []bool
+	tables  [][]float64
+	tparts  []throughput.TablePart
+
+	unitFp []uint64 // fingerprint each unit-term list was built from
+	unit   [][]portmap.MassTerm
+	parts  []throughput.Part
+
+	hits int64 // memo counters, flushed per candidate
+	miss int64
+}
+
+// ensure sizes the scratch for the instruction count and invalidates the
+// tables if the port universe changed.
+func (sc *evalScratch) ensure(numInsts, numPorts int) {
+	if len(sc.tblFp) < numInsts {
+		sc.tblFp = make([]uint64, numInsts)
+		sc.tblUsed = make([]portmap.PortSet, numInsts)
+		sc.tblInf = make([]bool, numInsts)
+		sc.tables = make([][]float64, numInsts)
+		sc.unitFp = make([]uint64, numInsts)
+		sc.unit = make([][]portmap.MassTerm, numInsts)
+	}
+	if sc.k != numPorts {
+		sc.k = numPorts
+		clear(sc.tblFp) // unit terms are port-independent and stay valid
+	}
+}
+
+// tableFor returns instruction inst's unit subset-sum table under m (as
+// a ready TablePart minus the scale), rebuilding it only if the cached
+// table was built from a different decomposition.
+func (sc *evalScratch) tableFor(m *portmap.Mapping, inst, size int) throughput.TablePart {
+	fp := m.Fingerprint(inst)
+	if sc.tblFp[inst] == fp {
+		return throughput.TablePart{Table: sc.tables[inst], Used: sc.tblUsed[inst], Inf: sc.tblInf[inst]}
+	}
+	t := sc.tables[inst]
+	if cap(t) < size {
+		t = make([]float64, size)
+	}
+	t = t[:size]
+	used, inf := throughput.BuildUnitTable(t, m.Decomp[inst], sc.k)
+	sc.tables[inst] = t
+	sc.tblFp[inst] = fp
+	sc.tblUsed[inst] = used
+	sc.tblInf[inst] = inf
+	return throughput.TablePart{Table: t, Used: used, Inf: inf}
+}
+
+// unitFor returns instruction inst's pre-flattened unit mass terms (its
+// µop decomposition with Mass = µop count), rebuilding only on
+// fingerprint change.
+func (sc *evalScratch) unitFor(m *portmap.Mapping, inst int) []portmap.MassTerm {
+	fp := m.Fingerprint(inst)
+	if sc.unitFp[inst] == fp {
+		return sc.unit[inst]
+	}
+	u := sc.unit[inst][:0]
+	for _, uc := range m.Decomp[inst] {
+		u = append(u, portmap.MassTerm{Ports: uc.Ports, Mass: float64(uc.Count)})
+	}
+	sc.unit[inst] = u
+	sc.unitFp[inst] = fp
+	return u
+}
+
+// defaultMemoEntries scales the memo to the experiment set: enough slots
+// that a generation's distinct decomposition tuples rarely collide, with
+// hard floor/ceiling bounds.
+func defaultMemoEntries(numExps int) int {
+	n := 64 * numExps
+	if n < 1<<12 {
+		n = 1 << 12
+	}
+	if n > 1<<20 {
+		n = 1 << 20
+	}
+	return n
 }
 
 // NewService compiles the measured experiment set into a Service.
@@ -67,10 +226,12 @@ func NewService(set *exp.Set, opts ServiceOptions) (*Service, error) {
 	workers := Workers(opts.Workers)
 	s := &Service{
 		workers:  workers,
+		numInsts: set.NumInsts,
 		pred:     opts.Predictor,
 		offs:     make([]int32, 1, len(set.Measurements)+1),
 		meas:     make([]float64, 0, len(set.Measurements)),
-		workerEv: make([]throughput.Evaluator, workers),
+		instExps: make([][]int32, set.NumInsts),
+		workerSc: make([]evalScratch, workers),
 	}
 	for i, m := range set.Measurements {
 		if m.Throughput <= 0 {
@@ -81,10 +242,38 @@ func NewService(set *exp.Set, opts ServiceOptions) (*Service, error) {
 				return nil, fmt.Errorf("engine: measurement %d references instruction %d outside 0..%d",
 					i, t.Inst, set.NumInsts-1)
 			}
+			if t.Count < 0 {
+				return nil, fmt.Errorf("engine: measurement %d has negative count %d for instruction %d",
+					i, t.Count, t.Inst)
+			}
 		}
 		s.terms = append(s.terms, m.Exp...)
 		s.offs = append(s.offs, int32(len(s.terms)))
 		s.meas = append(s.meas, m.Throughput)
+	}
+
+	// Inverted index: experiments are visited in order, so each list is
+	// sorted; consecutive-duplicate suppression handles instructions
+	// appearing in several terms of one (un-normalized) experiment.
+	for i := range s.meas {
+		for _, t := range s.experiment(i) {
+			lst := s.instExps[t.Inst]
+			if len(lst) == 0 || lst[len(lst)-1] != int32(i) {
+				s.instExps[t.Inst] = append(lst, int32(i))
+			}
+		}
+	}
+
+	if opts.MemoEntries >= 0 && opts.Predictor == nil {
+		entries := opts.MemoEntries
+		if entries == 0 {
+			entries = defaultMemoEntries(len(s.meas))
+		}
+		s.memo = newMemoTable(entries)
+		s.expSalt = make([]uint64, len(s.meas))
+		for i := range s.expSalt {
+			s.expSalt[i] = portmap.CombineFingerprints(0xa0761d6478bd642f, uint64(i)+1)
+		}
 	}
 	return s, nil
 }
@@ -93,52 +282,154 @@ func NewService(set *exp.Set, opts ServiceOptions) (*Service, error) {
 // evaluates against.
 func (s *Service) NumExperiments() int { return len(s.meas) }
 
+// ExperimentsWith returns how many experiments contain instruction inst
+// (the cost of one EvaluateDelta probe, in throughput predictions).
+func (s *Service) ExperimentsWith(inst int) int { return len(s.instExps[inst]) }
+
 // Evaluations returns the number of Davg computations performed so far
 // (the paper's cost metric for the bottleneck algorithm's speed).
 func (s *Service) Evaluations() int { return int(s.evals.Load()) }
+
+// Stats returns a snapshot of the evaluation counters.
+func (s *Service) Stats() CacheStats {
+	return CacheStats{
+		Evaluations:             s.evals.Load(),
+		DeltaEvaluations:        s.deltaEvals.Load(),
+		MemoHits:                s.memoHits.Load(),
+		MemoMisses:              s.memoMisses.Load(),
+		DeltaExperimentsSkipped: s.deltaSkipped.Load(),
+	}
+}
 
 // experiment returns the i-th pre-flattened experiment without copying.
 func (s *Service) experiment(i int) portmap.Experiment {
 	return portmap.Experiment(s.terms[s.offs[i]:s.offs[i+1]])
 }
 
-// davgWith computes Davg(m) with the given reusable evaluator.
-func (s *Service) davgWith(ev *throughput.Evaluator, m *portmap.Mapping) float64 {
+// expKey returns experiment i's memo key under mapping m: a hash of the
+// experiment's identity (salt) and the decomposition fingerprints of its
+// instructions. Two mappings that agree on the decompositions of the
+// experiment's instructions produce the same key — and the same
+// throughput.
+func (s *Service) expKey(m *portmap.Mapping, i int) uint64 {
+	key := s.expSalt[i]
+	for _, t := range s.terms[s.offs[i]:s.offs[i+1]] {
+		key = portmap.CombineFingerprints(key, m.Fingerprint(t.Inst))
+	}
+	if key == 0 {
+		key = 1 // 0 would read an empty memo slot as a hit
+	}
+	return key
+}
+
+// predictOne predicts experiment i under m on the fast path, through the
+// memo when enabled. Memo misses evaluate via the per-instruction
+// subset-sum tables (or, for wide port universes, the pre-flattened unit
+// terms) in sc, which must have been ensured for m. All three routes are
+// bit-identical to ThroughputOf.
+func (s *Service) predictOne(sc *evalScratch, m *portmap.Mapping, i int) float64 {
+	if s.memo == nil {
+		return sc.ev.ThroughputOf(m, s.experiment(i))
+	}
+	key := s.expKey(m, i)
+	if v, ok := s.memo.get(key); ok {
+		sc.hits++
+		return v
+	}
+	sc.miss++
+	var v float64
+	if m.NumPorts <= maxTableFastPorts {
+		size := 1 << uint(m.NumPorts)
+		sc.tparts = sc.tparts[:0]
+		for _, t := range s.experiment(i) {
+			part := sc.tableFor(m, t.Inst, size)
+			part.Scale = float64(t.Count)
+			sc.tparts = append(sc.tparts, part)
+		}
+		v = sc.ev.BottleneckTables(sc.tparts, m.NumPorts)
+	} else {
+		sc.parts = sc.parts[:0]
+		for _, t := range s.experiment(i) {
+			sc.parts = append(sc.parts, throughput.Part{Terms: sc.unitFor(m, t.Inst), Scale: float64(t.Count)})
+		}
+		v = sc.ev.BottleneckParts(sc.parts)
+	}
+	s.memo.put(key, v)
+	return v
+}
+
+// davgFast computes Davg(m) on the fast path, optionally capturing the
+// per-experiment predictions into preds (len(preds) == NumExperiments).
+func (s *Service) davgFast(sc *evalScratch, m *portmap.Mapping, preds []float64) float64 {
+	if s.memo != nil {
+		sc.ensure(s.numInsts, m.NumPorts)
+	}
+	sc.hits, sc.miss = 0, 0
 	sum := 0.0
 	for i, meas := range s.meas {
-		pred := ev.ThroughputOf(m, s.experiment(i))
+		pred := s.predictOne(sc, m, i)
+		if preds != nil {
+			preds[i] = pred
+		}
 		sum += math.Abs(pred-meas) / meas
 	}
+	s.flushMemoCounters(sc)
 	return sum / float64(len(s.meas))
 }
 
-// davgGeneric computes Davg(m) through an arbitrary Predictor.
-func (s *Service) davgGeneric(m *portmap.Mapping) (float64, error) {
+// flushMemoCounters folds the scratch's local memo counters into the
+// shared stats (batched per candidate to keep atomics off the per-
+// experiment path).
+func (s *Service) flushMemoCounters(sc *evalScratch) {
+	if sc.hits != 0 {
+		s.memoHits.Add(sc.hits)
+	}
+	if sc.miss != 0 {
+		s.memoMisses.Add(sc.miss)
+	}
+	sc.hits, sc.miss = 0, 0
+}
+
+// davgGeneric computes Davg(m) through an arbitrary Predictor,
+// optionally capturing the per-experiment predictions into preds.
+func (s *Service) davgGeneric(m *portmap.Mapping, preds []float64) (float64, error) {
 	sum := 0.0
 	for i, meas := range s.meas {
 		pred, err := s.pred.Predict(m, s.experiment(i))
 		if err != nil {
 			return 0, fmt.Errorf("engine: %s on experiment %d: %w", s.pred.Name(), i, err)
 		}
+		if preds != nil {
+			preds[i] = pred
+		}
 		sum += math.Abs(pred-meas) / meas
 	}
 	return sum / float64(len(s.meas)), nil
 }
+
+// getScratch draws a reusable scratch for concurrent single-candidate
+// evaluation; putScratch returns it.
+func (s *Service) getScratch() *evalScratch {
+	sc, _ := s.pool.Get().(*evalScratch)
+	if sc == nil {
+		sc = new(evalScratch)
+	}
+	return sc
+}
+
+func (s *Service) putScratch(sc *evalScratch) { s.pool.Put(sc) }
 
 // Evaluate computes the fitness of a single mapping. It is safe for
 // concurrent use and counts as one fitness evaluation.
 func (s *Service) Evaluate(m *portmap.Mapping) (Fitness, error) {
 	s.evals.Add(1)
 	if s.pred != nil {
-		d, err := s.davgGeneric(m)
+		d, err := s.davgGeneric(m, nil)
 		return Fitness{Davg: d, Volume: m.Volume()}, err
 	}
-	ev, _ := s.pool.Get().(*throughput.Evaluator)
-	if ev == nil {
-		ev = new(throughput.Evaluator)
-	}
-	f := Fitness{Davg: s.davgWith(ev, m), Volume: m.Volume()}
-	s.pool.Put(ev)
+	sc := s.getScratch()
+	f := Fitness{Davg: s.davgFast(sc, m, nil), Volume: m.Volume()}
+	s.putScratch(sc)
 	return f, nil
 }
 
@@ -151,12 +442,12 @@ func (s *Service) EvaluateAll(ms []*portmap.Mapping, out []Fitness) error {
 	s.evals.Add(int64(len(ms)))
 	if s.pred == nil {
 		ForEachWorker(len(ms), s.workers, func(w, i int) {
-			out[i] = Fitness{Davg: s.davgWith(&s.workerEv[w], ms[i]), Volume: ms[i].Volume()}
+			out[i] = Fitness{Davg: s.davgFast(&s.workerSc[w], ms[i], nil), Volume: ms[i].Volume()}
 		})
 		return nil
 	}
 	return ForEachErr(len(ms), s.workers, func(i int) error {
-		d, err := s.davgGeneric(ms[i])
+		d, err := s.davgGeneric(ms[i], nil)
 		if err != nil {
 			return err
 		}

@@ -82,6 +82,13 @@ type Options struct {
 	Engine engine.Predictor
 	// Seed makes runs reproducible.
 	Seed int64
+	// DisableCache turns off the redundancy-exploiting evaluation layer:
+	// the engine's shared throughput memo, the duplicate-candidate skip,
+	// and the incremental (delta) scoring of local-search probes — each
+	// probe is scored by a full evaluation instead. Results are
+	// bit-identical either way (pinned by test); the knob exists for
+	// benchmarking and debugging.
+	DisableCache bool
 	// ConvergenceEps terminates evolution when the spread of Davg in the
 	// selected population falls below it and all volumes agree.
 	ConvergenceEps float64
@@ -129,6 +136,9 @@ type Result struct {
 	FitnessEvaluations int
 	// History records per-generation statistics.
 	History []GenStats
+	// CacheStats snapshots the engine's evaluation counters (memo hits,
+	// delta evaluations, experiments skipped) at the end of the run.
+	CacheStats engine.CacheStats
 }
 
 // individual carries a candidate mapping with cached objectives.
@@ -165,9 +175,14 @@ func Run(set *exp.Set, opts Options) (*Result, error) {
 	}
 
 	rng := rand.New(rand.NewSource(opts.Seed))
+	memoEntries := 0
+	if opts.DisableCache {
+		memoEntries = -1
+	}
 	svc, err := engine.NewService(set, engine.ServiceOptions{
-		Workers:   opts.Workers,
-		Predictor: opts.Engine,
+		Workers:     opts.Workers,
+		Predictor:   opts.Engine,
+		MemoEntries: memoEntries,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("evo: %w", err)
@@ -196,7 +211,13 @@ func Run(set *exp.Set, opts Options) (*Result, error) {
 		})
 		pop = append(pop, individual{m: m})
 	}
-	if err := evaluate(svc, pop); err != nil {
+	// seen caches fitness by whole-mapping fingerprint for the current
+	// population, so duplicate candidates — common once the population
+	// converges — skip evaluation entirely. Rebuilt per generation to
+	// stay bounded.
+	dedupe := !opts.DisableCache
+	seen := make(map[uint64]engine.Fitness)
+	if err := evaluate(svc, pop, seen, dedupe); err != nil {
 		return nil, err
 	}
 
@@ -219,7 +240,14 @@ func Run(set *exp.Set, opts Options) (*Result, error) {
 				children = append(children, individual{m: c2})
 			}
 		}
-		if err := evaluate(svc, children); err != nil {
+		if dedupe {
+			// Prime the duplicate skip with the already evaluated parents.
+			clear(seen)
+			for i := range pop {
+				seen[pop[i].m.FingerprintAll()] = engine.Fitness{Davg: pop[i].davg, Volume: pop[i].volume}
+			}
+		}
+		if err := evaluate(svc, children, seen, dedupe); err != nil {
 			return nil, err
 		}
 		pop = append(pop, children...)
@@ -253,23 +281,58 @@ func Run(set *exp.Set, opts Options) (*Result, error) {
 	res.BestError = best.davg
 	res.BestVolume = best.volume
 	res.FitnessEvaluations = svc.Evaluations()
+	res.CacheStats = svc.Stats()
 	return res, nil
 }
 
 // evaluate fills in the objectives of all individuals through the
-// engine's batched fitness service.
-func evaluate(svc *engine.Service, inds []individual) error {
-	ms := make([]*portmap.Mapping, len(inds))
-	for i := range inds {
-		ms[i] = inds[i].m
+// engine's batched fitness service. With dedupe enabled, structurally
+// equal candidates — detected by whole-mapping fingerprint, within the
+// batch and against the caller-primed seen map — are evaluated once and
+// the fitness copied (bit-identical: equal mappings have equal fitness).
+// Newly computed fitnesses are added to seen.
+func evaluate(svc *engine.Service, inds []individual, seen map[uint64]engine.Fitness, dedupe bool) error {
+	if !dedupe {
+		ms := make([]*portmap.Mapping, len(inds))
+		for i := range inds {
+			ms[i] = inds[i].m
+		}
+		fits := make([]engine.Fitness, len(inds))
+		if err := svc.EvaluateAll(ms, fits); err != nil {
+			return err
+		}
+		for i := range inds {
+			inds[i].davg = fits[i].Davg
+			inds[i].volume = fits[i].Volume
+		}
+		return nil
 	}
-	fits := make([]engine.Fitness, len(inds))
-	if err := svc.EvaluateAll(ms, fits); err != nil {
+
+	fps := make([]uint64, len(inds))
+	batch := make(map[uint64]int, len(inds)) // fingerprint -> index into uniq
+	uniq := make([]*portmap.Mapping, 0, len(inds))
+	for i := range inds {
+		fp := inds[i].m.FingerprintAll()
+		fps[i] = fp
+		if _, ok := seen[fp]; ok {
+			continue
+		}
+		if _, ok := batch[fp]; !ok {
+			batch[fp] = len(uniq)
+			uniq = append(uniq, inds[i].m)
+		}
+	}
+	fits := make([]engine.Fitness, len(uniq))
+	if err := svc.EvaluateAll(uniq, fits); err != nil {
 		return err
 	}
+	for fp, k := range batch {
+		seen[fp] = fits[k]
+	}
 	for i := range inds {
-		inds[i].davg = fits[i].Davg
-		inds[i].volume = fits[i].Volume
+		f := seen[fps[i]]
+		inds[i].davg = f.Davg
+		inds[i].volume = f.Volume
 	}
 	return nil
 }
@@ -304,7 +367,9 @@ func converged(pop []individual, eps float64) bool {
 // w·Λ1(Davg(m)) + Λ2(V(m)) with both objectives affinely normalized to
 // [0, 1000] over the current population (the paper uses w = 1), then
 // truncates to the best p. Ties break deterministically on
-// (davg, volume).
+// (davg, volume). The scalarized key is computed once per individual —
+// O(n) normalizations — and the stable sort compares keys, so the
+// resulting order is identical to recomputing the key in the comparator.
 func selectBest(pop []individual, p int, volumeObjective bool, accuracyWeight float64) {
 	if accuracyWeight <= 0 {
 		accuracyWeight = 1
@@ -323,23 +388,39 @@ func selectBest(pop []individual, p int, volumeObjective bool, accuracyWeight fl
 		}
 		return (v - lo) / (hi - lo) * 1000
 	}
-	fitness := func(ind individual) float64 {
-		f := accuracyWeight * norm(ind.davg, minD, maxD)
+	keys := make([]float64, len(pop))
+	for i := range pop {
+		f := accuracyWeight * norm(pop[i].davg, minD, maxD)
 		if volumeObjective {
-			f += norm(float64(ind.volume), minV, maxV)
+			f += norm(float64(pop[i].volume), minV, maxV)
 		}
-		return f
+		keys[i] = f
 	}
-	sort.SliceStable(pop, func(i, j int) bool {
-		fi, fj := fitness(pop[i]), fitness(pop[j])
-		if fi != fj {
-			return fi < fj
-		}
-		if pop[i].davg != pop[j].davg {
-			return pop[i].davg < pop[j].davg
-		}
-		return pop[i].volume < pop[j].volume
-	})
+	sort.Stable(&popByKey{pop: pop, keys: keys})
+}
+
+// popByKey sorts a population and its precomputed scalarized fitness
+// keys together.
+type popByKey struct {
+	pop  []individual
+	keys []float64
+}
+
+func (s *popByKey) Len() int { return len(s.pop) }
+
+func (s *popByKey) Less(i, j int) bool {
+	if s.keys[i] != s.keys[j] {
+		return s.keys[i] < s.keys[j]
+	}
+	if s.pop[i].davg != s.pop[j].davg {
+		return s.pop[i].davg < s.pop[j].davg
+	}
+	return s.pop[i].volume < s.pop[j].volume
+}
+
+func (s *popByKey) Swap(i, j int) {
+	s.pop[i], s.pop[j] = s.pop[j], s.pop[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
 }
 
 // recombine implements the paper's binary recombination: for each
@@ -351,13 +432,13 @@ func recombine(rng *rand.Rand, a, b *portmap.Mapping, tpHints []float64) (*portm
 	n := a.NumInsts()
 	c1 := portmap.NewMapping(n, a.NumPorts)
 	c2 := portmap.NewMapping(n, a.NumPorts)
-	var pool []portmap.UopCount
+	var pool, d1, d2 []portmap.UopCount
 	for i := 0; i < n; i++ {
 		pool = pool[:0]
 		pool = append(pool, a.Decomp[i]...)
 		pool = append(pool, b.Decomp[i]...)
 
-		var d1, d2 []portmap.UopCount
+		d1, d2 = d1[:0], d2[:0]
 		for _, uc := range pool {
 			// Binomial split of the multiplicity between the children.
 			k := 0
@@ -413,9 +494,27 @@ func mutate(rng *rand.Rand, m *portmap.Mapping, opts Options, tpHints []float64)
 // keeps the changes to the port mapping if it is fitter than before").
 // An adjustment is kept if it reduces Davg, or keeps Davg (within 1e-12)
 // while reducing the volume.
+//
+// Each ±1 probe edits the single affected µop count in place and is
+// scored through the engine's incremental EvaluateDelta, which only
+// re-predicts the experiments containing the changed instruction;
+// rejected probes revert the edit, accepted ones commit the delta. The
+// one Clone is taken up front, so the probe loop allocates nothing and
+// its cost is O(#experiments containing instruction i) per probe instead
+// of O(#experiments). With Options.DisableCache every probe is scored by
+// a full evaluation instead — bit-identical, pinned by test.
 func localSearch(svc *engine.Service, start individual, opts Options) (individual, error) {
-	cur := start
-	cur.m = start.m.Clone()
+	m := start.m.Clone()
+	cur := engine.Fitness{Davg: start.davg, Volume: start.volume}
+	var st *engine.FitnessState
+	if !opts.DisableCache {
+		var err error
+		st, err = svc.NewState(m)
+		if err != nil {
+			return individual{}, err
+		}
+		cur = st.Fitness()
+	}
 
 	better := func(d2 float64, v2 int, d1 float64, v1 int) bool {
 		if d2 < d1-1e-12 {
@@ -430,35 +529,49 @@ func localSearch(svc *engine.Service, start individual, opts Options) (individua
 	}
 	for pass := 0; pass < maxPasses; pass++ {
 		improved := false
-		for i := 0; i < cur.m.NumInsts(); i++ {
-			for j := 0; j < len(cur.m.Decomp[i]); j++ {
-				orig := cur.m.Decomp[i][j].Count
+		for i := 0; i < m.NumInsts(); i++ {
+			for j := 0; j < len(m.Decomp[i]); j++ {
+				orig := m.Decomp[i][j].Count
 				for _, delta := range []int{1, -1} {
 					next := orig + delta
 					if next < 0 {
 						continue
 					}
-					if next == 0 && len(cur.m.Decomp[i]) == 1 {
+					if next == 0 && len(m.Decomp[i]) == 1 {
 						continue // every instruction needs at least one µop
 					}
-					trial := cur.m.Clone()
+					var removed portmap.UopCount
 					if next == 0 {
-						trial.SetDecomp(i, append(append([]portmap.UopCount(nil),
-							trial.Decomp[i][:j]...), trial.Decomp[i][j+1:]...))
+						removed = m.RemoveUopAt(i, j)
 					} else {
-						trial.Decomp[i][j].Count = next
+						m.SetUopCount(i, j, next)
 					}
-					fit, err := svc.Evaluate(trial)
+					var fit engine.Fitness
+					var err error
+					if st != nil {
+						fit, err = svc.EvaluateDelta(st, i)
+					} else {
+						fit, err = svc.Evaluate(m)
+					}
 					if err != nil {
 						return individual{}, err
 					}
-					if better(fit.Davg, fit.Volume, cur.davg, cur.volume) {
-						cur = individual{m: trial, davg: fit.Davg, volume: fit.Volume}
+					if better(fit.Davg, fit.Volume, cur.Davg, cur.Volume) {
+						if st != nil {
+							st.Commit()
+						}
+						cur = fit
 						improved = true
 						break // re-inspect the modified decomposition
 					}
+					// Rejected: revert the in-place edit.
+					if next == 0 {
+						m.InsertUopAt(i, j, removed)
+					} else {
+						m.SetUopCount(i, j, orig)
+					}
 				}
-				if j >= len(cur.m.Decomp[i]) {
+				if j >= len(m.Decomp[i]) {
 					break
 				}
 			}
@@ -467,5 +580,5 @@ func localSearch(svc *engine.Service, start individual, opts Options) (individua
 			break
 		}
 	}
-	return cur, nil
+	return individual{m: m, davg: cur.Davg, volume: cur.Volume}, nil
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"pmevo/internal/engine"
 	"pmevo/internal/exp"
 	"pmevo/internal/portmap"
 	"pmevo/internal/throughput"
@@ -422,5 +423,101 @@ func TestAccuracyWeightEscapesCompactnessTrap(t *testing.T) {
 	}
 	if weighted.BestError > 0.02 {
 		t.Errorf("weighted run still inaccurate: Davg = %g", weighted.BestError)
+	}
+}
+
+// TestCacheOnOffBitIdentical is the golden pin for the memoized and
+// incremental evaluation layer: a fixed-seed Run must return a
+// bit-identical result — same Best mapping, same Davg, same volume, same
+// per-generation history — with the caching layer enabled (memo +
+// duplicate skip + delta local search over memoized predictions) and
+// disabled. Exercised across several seeds and with local search on and
+// off.
+func TestCacheOnOffBitIdentical(t *testing.T) {
+	set := measuredSet(t, hiddenMapping())
+	for _, localSearch := range []bool{true, false} {
+		for _, seed := range []int64{1, 7, 42} {
+			opts := smallOpts()
+			opts.Seed = seed
+			opts.LocalSearch = localSearch
+			opts.MaxGenerations = 12
+
+			opts.DisableCache = false
+			cached, err := Run(set, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts.DisableCache = true
+			plain, err := Run(set, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			tag := "localSearch=" + map[bool]string{true: "on", false: "off"}[localSearch]
+			if !cached.Best.Equal(plain.Best) {
+				t.Errorf("seed %d %s: Best differs with caching on/off:\n%s\nvs\n%s",
+					seed, tag, cached.Best, plain.Best)
+			}
+			if cached.BestError != plain.BestError {
+				t.Errorf("seed %d %s: BestError %v (cached) != %v (plain)",
+					seed, tag, cached.BestError, plain.BestError)
+			}
+			if cached.BestVolume != plain.BestVolume {
+				t.Errorf("seed %d %s: BestVolume %d != %d", seed, tag, cached.BestVolume, plain.BestVolume)
+			}
+			if cached.Generations != plain.Generations {
+				t.Errorf("seed %d %s: Generations %d != %d", seed, tag, cached.Generations, plain.Generations)
+			}
+			if len(cached.History) != len(plain.History) {
+				t.Fatalf("seed %d %s: history lengths differ: %d vs %d",
+					seed, tag, len(cached.History), len(plain.History))
+			}
+			for g := range cached.History {
+				if cached.History[g] != plain.History[g] {
+					t.Errorf("seed %d %s: generation %d stats differ: %+v vs %+v",
+						seed, tag, g, cached.History[g], plain.History[g])
+				}
+			}
+			// The cached run must actually have exercised the caching
+			// layer, and the plain run must not have.
+			if cached.CacheStats.MemoHits == 0 {
+				t.Errorf("seed %d %s: cached run recorded no memo hits", seed, tag)
+			}
+			if plain.CacheStats.MemoHits != 0 || plain.CacheStats.MemoMisses != 0 {
+				t.Errorf("seed %d %s: DisableCache run recorded memo traffic: %+v",
+					seed, tag, plain.CacheStats)
+			}
+			if localSearch && cached.CacheStats.DeltaEvaluations == 0 {
+				t.Errorf("seed %d %s: local search performed no delta evaluations", seed, tag)
+			}
+		}
+	}
+}
+
+// TestCacheOnOffBitIdenticalGenericEngine pins the same property through
+// a generic (non-fast-path) predictor, where the memo is inactive but
+// the duplicate skip and delta local search still apply.
+func TestCacheOnOffBitIdenticalGenericEngine(t *testing.T) {
+	set := measuredSet(t, hiddenMapping())
+	eng, err := engine.ByName("union")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := smallOpts()
+	opts.MaxGenerations = 6
+	opts.Engine = eng
+	opts.DisableCache = false
+	cached, err := Run(set, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.DisableCache = true
+	plain, err := Run(set, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached.Best.Equal(plain.Best) || cached.BestError != plain.BestError {
+		t.Errorf("generic engine: results differ with caching on/off: %v vs %v",
+			cached.BestError, plain.BestError)
 	}
 }

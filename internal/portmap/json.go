@@ -53,6 +53,7 @@ func (m *Mapping) UnmarshalJSON(data []byte) error {
 	m.NumPorts = jm.NumPorts
 	m.PortNames = jm.PortNames
 	m.Decomp = make([][]UopCount, len(jm.Insts))
+	m.fps = make([]uint64, len(jm.Insts))
 	m.InstNames = make([]string, len(jm.Insts))
 	for i, ji := range jm.Insts {
 		m.InstNames[i] = ji.Name
@@ -65,6 +66,7 @@ func (m *Mapping) UnmarshalJSON(data []byte) error {
 			uops = append(uops, UopCount{Ports: ps, Count: ju.Count})
 		}
 		m.Decomp[i] = canonicalizeUops(uops)
+		m.cacheFingerprint(i)
 	}
 	return nil
 }

@@ -95,6 +95,10 @@ type Mapping struct {
 	// PortNames optionally names the ports; if nil, ports render as
 	// "P<n>".
 	PortNames []string
+
+	// fps caches per-instruction decomposition fingerprints (0: not
+	// cached); see fingerprint.go. Maintained by the mutating methods.
+	fps []uint64
 }
 
 // NewMapping creates a mapping for numInsts instructions over numPorts
@@ -107,6 +111,7 @@ func NewMapping(numInsts, numPorts int) *Mapping {
 	return &Mapping{
 		NumPorts: numPorts,
 		Decomp:   make([][]UopCount, numInsts),
+		fps:      make([]uint64, numInsts),
 	}
 }
 
@@ -117,14 +122,83 @@ func (m *Mapping) NumInsts() int { return len(m.Decomp) }
 // merged by port set, zero counts dropped, and sorted canonically.
 func (m *Mapping) SetDecomp(inst int, uops []UopCount) {
 	m.Decomp[inst] = canonicalizeUops(uops)
+	m.cacheFingerprint(inst)
 }
 
 // AddUop adds n instances of µop u to instruction i's decomposition.
 func (m *Mapping) AddUop(inst int, u PortSet, n int) {
 	m.Decomp[inst] = canonicalizeUops(append(m.Decomp[inst], UopCount{Ports: u, Count: n}))
+	m.cacheFingerprint(inst)
 }
 
+// SetUopCount sets the count of the j-th µop of instruction inst in
+// place, keeping the decomposition canonical (the port set, and hence the
+// sort order, is unchanged). count must be positive; use RemoveUopAt to
+// drop a µop. Local search uses this to probe ±1 count adjustments
+// without cloning the mapping.
+func (m *Mapping) SetUopCount(inst, j, count int) {
+	if count <= 0 {
+		panic(fmt.Sprintf("portmap: SetUopCount(%d, %d, %d): non-positive count", inst, j, count))
+	}
+	m.Decomp[inst][j].Count = count
+	m.cacheFingerprint(inst)
+}
+
+// RemoveUopAt removes and returns the j-th µop of instruction inst,
+// preserving the canonical order of the remaining µops. The removed µop
+// can be restored with InsertUopAt(inst, j, uc).
+func (m *Mapping) RemoveUopAt(inst, j int) UopCount {
+	d := m.Decomp[inst]
+	uc := d[j]
+	m.Decomp[inst] = append(d[:j], d[j+1:]...)
+	m.cacheFingerprint(inst)
+	return uc
+}
+
+// InsertUopAt inserts µop uc at position j of instruction inst's
+// decomposition. The caller must preserve the canonical order (sorted by
+// port set, distinct port sets) — the inverse of RemoveUopAt does.
+func (m *Mapping) InsertUopAt(inst, j int, uc UopCount) {
+	d := append(m.Decomp[inst], UopCount{})
+	copy(d[j+1:], d[j:])
+	d[j] = uc
+	m.Decomp[inst] = d
+	m.cacheFingerprint(inst)
+}
+
+// canonSortCutoff bounds the decomposition size up to which
+// canonicalization sorts a copy in place and merges adjacent runs;
+// decompositions are small (≤ |P| distinct µops in practice), so the
+// map-based path is the rare fallback. Both paths produce the identical
+// canonical form (sorted by port set, merged, positive counts).
+const canonSortCutoff = 24
+
 func canonicalizeUops(uops []UopCount) []UopCount {
+	if len(uops) > canonSortCutoff {
+		return canonicalizeUopsMap(uops)
+	}
+	out := append(make([]UopCount, 0, len(uops)), uops...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Ports < out[j-1].Ports; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	w := 0
+	for r := 0; r < len(out); {
+		ports := out[r].Ports
+		total := 0
+		for ; r < len(out) && out[r].Ports == ports; r++ {
+			total += out[r].Count
+		}
+		if total > 0 {
+			out[w] = UopCount{Ports: ports, Count: total}
+			w++
+		}
+	}
+	return out[:w]
+}
+
+func canonicalizeUopsMap(uops []UopCount) []UopCount {
 	merged := make(map[PortSet]int, len(uops))
 	for _, uc := range uops {
 		merged[uc.Ports] += uc.Count
@@ -194,6 +268,9 @@ func (m *Mapping) Clone() *Mapping {
 	for i, uops := range m.Decomp {
 		cp.Decomp[i] = append([]UopCount(nil), uops...)
 	}
+	if m.fps != nil {
+		cp.fps = append([]uint64(nil), m.fps...)
+	}
 	return cp
 }
 
@@ -234,6 +311,7 @@ func TwoLevelFromPorts(numPorts int, ports []PortSet) *Mapping {
 	m := NewMapping(len(ports), numPorts)
 	for i, p := range ports {
 		m.Decomp[i] = []UopCount{{Ports: p, Count: 1}}
+		m.cacheFingerprint(i)
 	}
 	return m
 }

@@ -40,6 +40,7 @@ func Random(rng *rand.Rand, opts RandomOptions) *Mapping {
 			}
 		}
 		m.Decomp[i] = randomDecomp(rng, opts.NumPorts, maxUops, hint)
+		m.cacheFingerprint(i)
 	}
 	return m
 }

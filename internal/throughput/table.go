@@ -1,0 +1,187 @@
+package throughput
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"pmevo/internal/portmap"
+)
+
+// Per-instruction subset-sum tables.
+//
+// The subset-sum (zeta) transform at the heart of the bottleneck
+// algorithm is linear in the µop masses, and an experiment's masses are
+// a non-negative integer combination of its instructions' unit masses:
+//
+//	sums_e[Q] = Σ_i e(i) · T_i[Q],  T_i[Q] = Σ{n | (i,n,u) ∈ N, u ⊆ Q}
+//
+// so a caller evaluating many experiments over one mapping can zeta-
+// transform each instruction once and reduce every experiment to a
+// scaled sum of tables plus the max-ratio scan — no per-experiment
+// flatten, merge, or transform. This is the engine fitness service's
+// fast path: §4.1 experiments touch 1–2 instructions each, while each
+// instruction occurs in O(#instructions) experiments.
+//
+// Bit-exactness: experiment counts and µop counts are integers, so every
+// deposit, zeta addition, table scaling, and table sum is exact integer
+// arithmetic in float64 (far below 2^53). Any association of these
+// operations — per-experiment transform or per-instruction tables —
+// yields identical bits, and the final max of sums[Q]/|Q| is a maximum
+// of identical division results. The equivalence with ThroughputOf is
+// property-tested. Callers with non-integral masses must use the
+// per-experiment entry points instead.
+
+// TablePart is one instruction's contribution to an experiment in
+// subset-sum-table form: the instruction's unit table and the
+// experiment's multiplicity for it.
+type TablePart struct {
+	Table []float64
+	Scale float64
+	// Used is the union of the instruction's µop port sets; the
+	// max-ratio scan only needs subsets of the experiment's combined
+	// union (every other Q is a dominated duplicate).
+	Used portmap.PortSet
+	// Inf marks an instruction with a µop on an empty port set: it can
+	// never execute, so any experiment containing it has throughput +Inf.
+	Inf bool
+}
+
+// BuildUnitTable fills dst (length 1<<k) with the subset-sum table of
+// the decomposition's unit masses over ports 0..k-1. It returns the
+// union of the occurring port sets and whether the decomposition
+// contains an executable-nowhere µop (see TablePart fields). Every
+// µop's port set must lie within 0..k-1.
+func BuildUnitTable(dst []float64, uops []portmap.UopCount, k int) (used portmap.PortSet, inf bool) {
+	if k > maxTablePorts {
+		panic(fmt.Sprintf("throughput: %d ports exceed the %d-port bottleneck table limit", k, maxTablePorts))
+	}
+	size := 1 << uint(k)
+	dst = dst[:size]
+	clear(dst)
+	for _, uc := range uops {
+		if uc.Ports.IsEmpty() {
+			if uc.Count != 0 {
+				inf = true
+			}
+			continue
+		}
+		used |= uc.Ports
+		dst[uc.Ports] += float64(uc.Count)
+	}
+	zetaTransform(dst, k)
+	return used, inf
+}
+
+// BottleneckTables computes the throughput of the experiment described
+// by parts — each a pre-transformed unit table with a multiplicity —
+// over ports 0..k-1. Tables must have been built with BuildUnitTable at
+// the same k. With integral unit masses and scales the result is
+// bit-identical to ThroughputOf on the equivalent mapping/experiment
+// pair.
+func (ev *Evaluator) BottleneckTables(parts []TablePart, k int) float64 {
+	size := 1 << uint(k)
+	var a, b *TablePart
+	live := 0
+	for i := range parts {
+		p := &parts[i]
+		if p.Scale == 0 {
+			continue
+		}
+		if p.Inf {
+			return math.Inf(1)
+		}
+		switch live {
+		case 0:
+			a = p
+		case 1:
+			b = p
+		}
+		live++
+	}
+	switch live {
+	case 0:
+		return 0
+	case 1:
+		return maxRatioScaled1(a.Table[:size], a.Scale, a.Used)
+	case 2:
+		return maxRatioScaled2(a.Table[:size], b.Table[:size], a.Scale, b.Scale, a.Used|b.Used)
+	}
+	if cap(ev.sums) < size {
+		ev.sums = make([]float64, size)
+	}
+	sums := ev.sums[:size]
+	clear(sums)
+	used := portmap.PortSet(0)
+	for i := range parts {
+		p := &parts[i]
+		if p.Scale == 0 {
+			continue
+		}
+		used |= p.Used
+		t := p.Table[:size]
+		for q := range sums {
+			sums[q] += p.Scale * t[q]
+		}
+	}
+	return maxRatioScaled1(sums, 1, used)
+}
+
+// maxRatioScaled1 returns max over non-empty Q ⊆ used of s·t[Q]/|Q|.
+// Restricting Q to the used-port union is exact: for any other Q,
+// t[Q] = t[Q∩used] with |Q| larger, a dominated duplicate. Divisions are
+// hoisted per cardinality class as in bottleneckTable. When the union
+// covers the whole table, a linear scan replaces the subset-enumeration
+// chain (whose q → (q-1)&u recurrence is a serial dependency).
+func maxRatioScaled1(t []float64, s float64, used portmap.PortSet) float64 {
+	var maxSum [maxTablePorts + 1]float64
+	u := uint64(used)
+	if int(u) == len(t)-1 {
+		for q := 1; q < len(t); q++ {
+			if v := s * t[q]; v > maxSum[bits.OnesCount(uint(q))] {
+				maxSum[bits.OnesCount(uint(q))] = v
+			}
+		}
+	} else {
+		for q := u; q != 0; q = (q - 1) & u {
+			if v := s * t[q]; v > maxSum[bits.OnesCount64(q)] {
+				maxSum[bits.OnesCount64(q)] = v
+			}
+		}
+	}
+	return divideMaxima(&maxSum, used.Count())
+}
+
+// maxRatioScaled2 is the fused two-instruction case (the §4.1 pair
+// experiments): max over non-empty Q ⊆ used of (sa·a[Q] + sb·b[Q])/|Q|.
+func maxRatioScaled2(a, b []float64, sa, sb float64, used portmap.PortSet) float64 {
+	var maxSum [maxTablePorts + 1]float64
+	u := uint64(used)
+	if int(u) == len(a)-1 {
+		b = b[:len(a)]
+		for q := 1; q < len(a); q++ {
+			if v := sa*a[q] + sb*b[q]; v > maxSum[bits.OnesCount(uint(q))] {
+				maxSum[bits.OnesCount(uint(q))] = v
+			}
+		}
+	} else {
+		for q := u; q != 0; q = (q - 1) & u {
+			if v := sa*a[q] + sb*b[q]; v > maxSum[bits.OnesCount64(q)] {
+				maxSum[bits.OnesCount64(q)] = v
+			}
+		}
+	}
+	return divideMaxima(&maxSum, used.Count())
+}
+
+func divideMaxima(maxSum *[maxTablePorts + 1]float64, k int) float64 {
+	best := 0.0
+	for c := 1; c <= k; c++ {
+		if maxSum[c] > 0 {
+			if v := maxSum[c] / float64(c); v > best {
+				best = v
+			}
+		}
+	}
+	return best
+}

@@ -149,6 +149,118 @@ func (ev *Evaluator) ThroughputOf(m *portmap.Mapping, e portmap.Experiment) floa
 	return ev.Bottleneck(ev.flat)
 }
 
+// Part is one instruction's contribution to an experiment in
+// pre-flattened form: the instruction's unit mass terms (its µop
+// decomposition with Mass = µop count) and the experiment's multiplicity
+// for the instruction. Callers that evaluate many experiments over the
+// same mapping flatten each instruction once and reuse the terms across
+// all experiments containing it (the engine's fitness hot loop does
+// this).
+type Part struct {
+	Terms []portmap.MassTerm
+	Scale float64
+}
+
+// BottleneckParts computes the throughput of the experiment described by
+// parts, merging the scaled per-instruction terms directly into the
+// evaluator's buffers. It is bit-identical to ThroughputOf on the
+// equivalent mapping/experiment pair: the merge consumes (port set, mass)
+// pairs in the same order with the same floating-point operations, and
+// the engine dispatch below is unchanged.
+func (ev *Evaluator) BottleneckParts(parts []Part) float64 {
+	used, ok := ev.mergeParts(parts)
+	if !ok {
+		return math.Inf(1)
+	}
+	if used.IsEmpty() {
+		return 0
+	}
+	k := used.Count()
+	d := len(ev.masks)
+	if d <= 12 && d < k {
+		return ev.bottleneckUnion()
+	}
+	return ev.bottleneckTable(used, k)
+}
+
+// mergeParts is mergeTerms over scaled per-instruction term lists. Like
+// mergeTerms it preserves first-occurrence order and picks the linear
+// scan or the indexed map by input size; both strategies produce
+// identical masks, so the choice never affects results.
+func (ev *Evaluator) mergeParts(parts []Part) (used portmap.PortSet, ok bool) {
+	total := 0
+	for i := range parts {
+		if parts[i].Scale != 0 {
+			total += len(parts[i].Terms)
+		}
+	}
+	if total > smallMergeCutoff {
+		return ev.mergePartsIndexed(parts)
+	}
+	ev.masks = ev.masks[:0]
+	for i := range parts {
+		scale := parts[i].Scale
+		if scale == 0 {
+			continue
+		}
+		for _, t := range parts[i].Terms {
+			mass := scale * t.Mass
+			if mass == 0 {
+				continue
+			}
+			if t.Ports.IsEmpty() {
+				return 0, false
+			}
+			used |= t.Ports
+			found := false
+			for j := range ev.masks {
+				if ev.masks[j].ports == t.Ports {
+					ev.masks[j].mass += mass
+					found = true
+					break
+				}
+			}
+			if !found {
+				ev.masks = append(ev.masks, maskMass{ports: t.Ports, mass: mass})
+			}
+		}
+	}
+	return used, true
+}
+
+// mergePartsIndexed is the wide-input path of mergeParts.
+func (ev *Evaluator) mergePartsIndexed(parts []Part) (used portmap.PortSet, ok bool) {
+	ev.masks = ev.masks[:0]
+	if ev.midx == nil {
+		ev.midx = make(map[portmap.PortSet]int32)
+	} else {
+		clear(ev.midx)
+	}
+	for i := range parts {
+		scale := parts[i].Scale
+		if scale == 0 {
+			continue
+		}
+		for _, t := range parts[i].Terms {
+			mass := scale * t.Mass
+			if mass == 0 {
+				continue
+			}
+			if t.Ports.IsEmpty() {
+				return 0, false
+			}
+			used |= t.Ports
+			if j, found := ev.midx[t.Ports]; found {
+				ev.masks[j].mass += mass
+			} else {
+				ev.midx[t.Ports] = int32(len(ev.masks))
+				ev.masks = append(ev.masks, maskMass{ports: t.Ports, mass: mass})
+			}
+		}
+	}
+	return used, true
+}
+
 // Bottleneck computes the throughput of the given µop masses; see the
 // package-level Bottleneck. Internally it picks between two exact
 // strategies: for experiments with few distinct µops (the common case
@@ -190,6 +302,28 @@ func (ev *Evaluator) BottleneckTable(terms []portmap.MassTerm) float64 {
 	return ev.bottleneckTable(used, used.Count())
 }
 
+// zetaTransform applies the subset-sum (zeta) transform in place:
+// afterwards sums[Q] = Σ{sums_before[u] | u ⊆ Q} (len(sums) must be
+// 1<<k). Each pass only writes entries whose b-th bit is set and only
+// reads entries with it clear, so the additions are independent and run
+// over the contiguous upper half of each 2·bit block branch-free —
+// bit-identical to the naive q-loop, at about half the iterations. Both
+// bottleneckTable and BuildUnitTable go through this one implementation;
+// the caching layer's bit-identical invariant depends on that.
+func zetaTransform(sums []float64, k int) {
+	size := 1 << uint(k)
+	for b := 0; b < k; b++ {
+		bit := 1 << uint(b)
+		for base := bit; base < size; base += bit << 1 {
+			dst := sums[base : base+bit]
+			src := sums[base-bit : base : base]
+			for i := range dst {
+				dst[i] += src[i]
+			}
+		}
+	}
+}
+
 // bottleneckTable runs the subset-sum table over the ports in `used`,
 // consuming the merged masses in ev.masks.
 func (ev *Evaluator) bottleneckTable(used portmap.PortSet, k int) float64 {
@@ -219,23 +353,18 @@ func (ev *Evaluator) bottleneckTable(used portmap.PortSet, k int) float64 {
 		sums[dense] += t.mass
 	}
 
-	// Subset-sum (zeta) transform: afterwards sums[Q] = Σ{mass(u) | u ⊆ Q}.
-	for b := 0; b < k; b++ {
-		bit := 1 << uint(b)
-		for q := 0; q < size; q++ {
-			if q&bit != 0 {
-				sums[q] += sums[q^bit]
-			}
-		}
-	}
+	zetaTransform(sums, k)
 
-	best := 0.0
+	// Max of sums[Q]/|Q|. Division by a positive constant is monotone, so
+	// the per-|Q| maxima can be taken on the raw sums and divided once per
+	// cardinality class — identical result, k divisions instead of 2^k.
+	var maxSum [maxTablePorts + 1]float64
 	for q := 1; q < size; q++ {
-		if v := sums[q] / float64(bits.OnesCount(uint(q))); v > best {
-			best = v
+		if c := bits.OnesCount(uint(q)); sums[q] > maxSum[c] {
+			maxSum[c] = sums[q]
 		}
 	}
-	return best
+	return divideMaxima(&maxSum, k)
 }
 
 // bottleneckUnion enumerates subsets of the merged µop masks in
