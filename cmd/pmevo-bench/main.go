@@ -55,7 +55,7 @@ type benchRecord struct {
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiment to run: table1|table2|table3|table4|figure6|figure7|figure8|engines|fitness|all")
+	expFlag := flag.String("exp", "all", "experiment to run: table1|table2|table3|table4|figure6|figure7|figure8|engines|fitness|measure|all")
 	scaleFlag := flag.String("scale", "default", "experiment scale: quick|default|full")
 	engineFlag := flag.String("engine", "bottleneck",
 		"throughput engine for the engines consistency dump: "+strings.Join(engine.Names(), "|"))
@@ -95,10 +95,10 @@ func main() {
 	want := map[string]bool{}
 	switch *expFlag {
 	case "all":
-		for _, e := range []string{"table1", "table2", "table3", "table4", "figure6", "figure7", "figure8", "engines", "fitness"} {
+		for _, e := range []string{"table1", "table2", "table3", "table4", "figure6", "figure7", "figure8", "engines", "fitness", "measure"} {
 			want[e] = true
 		}
-	case "table1", "table2", "table3", "table4", "figure6", "figure7", "figure8", "figure8a", "figure8b", "ablation", "engines", "fitness":
+	case "table1", "table2", "table3", "table4", "figure6", "figure7", "figure8", "figure8a", "figure8b", "ablation", "engines", "fitness", "measure":
 		want[*expFlag] = true
 	default:
 		fatalf("unknown experiment %q", *expFlag)
@@ -138,9 +138,33 @@ func main() {
 			"evaluations":            float64(res.Cached.Evaluations),
 			"memo_hits":              float64(res.Cached.MemoHits),
 			"memo_misses":            float64(res.Cached.MemoMisses),
+			"memo_entries":           float64(res.Cached.MemoEntries),
+			"memo_resizes":           float64(res.Cached.MemoResizes),
 			"delta_evals":            float64(res.Cached.DeltaEvals),
 			"delta_exps_skipped":     float64(res.Cached.DeltaExpsSkipped),
 		})
+	}
+
+	if want["measure"] {
+		progress("running measurement benchmark (fast path vs brute-force simulation)")
+		start := time.Now()
+		res, err := eval.RunMeasureBench(scale)
+		if err != nil {
+			fatalf("measure: %v", err)
+		}
+		fmt.Println(res.Render())
+		writeCSV(*csvDir, "measure.csv", res.WriteCSV)
+		metrics := map[string]float64{"speedup": res.Speedup()}
+		for _, a := range res.Archs {
+			metrics["seconds_fast_"+a.Arch] = a.Fast.Seconds
+			metrics["seconds_baseline_"+a.Arch] = a.Baseline.Seconds
+			metrics["speedup_"+a.Arch] = a.Speedup()
+			metrics["meas_per_sec_"+a.Arch] = a.Fast.PerSec
+			metrics["sim_hits_"+a.Arch] = float64(a.Fast.SimHits)
+			metrics["sim_misses_"+a.Arch] = float64(a.Fast.SimMisses)
+			metrics["experiments_"+a.Arch] = float64(a.Experiments)
+		}
+		record("measure", "", start, metrics)
 	}
 
 	if want["figure6"] {

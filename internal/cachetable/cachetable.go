@@ -1,0 +1,73 @@
+// Package cachetable provides the bounded, lock-free cache table shared
+// by the engine's throughput memo and the measurement layer's
+// kernel-simulation cache: a fixed-size array of independently atomic
+// slots, direct-mapped by key.
+//
+// Each slot packs (key, value) into two atomic words with the
+// transposition-table XOR trick: the tag word stores key ^ value, so a
+// torn read (tag from one write, value from another) fails the tag
+// check and reads as a miss instead of returning a mismatched value. A
+// false hit requires two concurrently written keys with colliding
+// tag/value XORs — the same ~2^-64 regime as a fingerprint collision.
+//
+// The table is a cache, not a map: colliding keys overwrite each other
+// (bounded memory, no eviction bookkeeping), and a lost entry only
+// costs a recomputation. Callers must never use key 0 (an empty slot
+// would read as a hit for it); hash constructions here map 0 to 1.
+package cachetable
+
+import "sync/atomic"
+
+// Table is the direct-mapped cache. Values are raw 64-bit words;
+// callers storing floats convert with math.Float64bits/Float64frombits.
+type Table struct {
+	mask    uint64
+	entries []entry
+}
+
+type entry struct {
+	tag atomic.Uint64 // key ^ val
+	val atomic.Uint64
+}
+
+// New creates a table with at least `entries` slots, rounded up to a
+// power of two.
+func New(entries int) *Table {
+	size := 1
+	for size < entries {
+		size <<= 1
+	}
+	return &Table{mask: uint64(size - 1), entries: make([]entry, size)}
+}
+
+// Len returns the slot count.
+func (t *Table) Len() int { return len(t.entries) }
+
+// Get returns the value stored for key, if present.
+func (t *Table) Get(key uint64) (uint64, bool) {
+	e := &t.entries[key&t.mask]
+	v := e.val.Load()
+	if e.tag.Load() != key^v {
+		return 0, false
+	}
+	return v, true
+}
+
+// Put stores the value for key, overwriting whatever shared the slot.
+func (t *Table) Put(key, val uint64) {
+	e := &t.entries[key&t.mask]
+	e.tag.Store(key ^ val)
+	e.val.Store(val)
+}
+
+// Clear drops every entry. Zeroed slots read as misses for all valid
+// (non-zero) keys, so clearing is safe even while readers are active —
+// a concurrent Get sees either the old entry or a miss. Benchmark
+// drivers use this to time cold-cache behavior; results are unaffected
+// (the table caches a pure function).
+func (t *Table) Clear() {
+	for i := range t.entries {
+		t.entries[i].tag.Store(0)
+		t.entries[i].val.Store(0)
+	}
+}

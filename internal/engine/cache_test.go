@@ -23,10 +23,10 @@ func newServicePair(t *testing.T, rng *rand.Rand, numInsts, numPorts int) (*Serv
 	if err != nil {
 		t.Fatal(err)
 	}
-	if memo.memo == nil {
+	if memo.memo.Load() == nil {
 		t.Fatal("default service has no memo")
 	}
-	if plain.memo != nil {
+	if plain.memo.Load() != nil {
 		t.Fatal("MemoEntries < 0 did not disable the memo")
 	}
 	return memo, plain
@@ -440,5 +440,70 @@ func TestEvaluateDeltaErrorInvalidatesPending(t *testing.T) {
 	}
 	if fit != want {
 		t.Errorf("recovered delta %+v != full %+v", fit, want)
+	}
+}
+
+// TestAdaptiveMemoGrowth drives enough distinct candidates through an
+// auto-sized service to trigger growth, and checks that growth happened,
+// is bounded, and never changes results (bit-equality against both a
+// cache-disabled service and a pinned-size service).
+func TestAdaptiveMemoGrowth(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	_, set := measuredSet(t, rng, 12, 6)
+	auto, err := NewService(set, ServiceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := auto.Stats().MemoEntries; got != autoMemoFloor {
+		t.Fatalf("auto memo starts at %d slots, want %d", got, autoMemoFloor)
+	}
+	pinned, err := NewService(set, ServiceOptions{MemoEntries: 1 << 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pinned.memoAuto {
+		t.Fatal("pinned size must not adapt")
+	}
+	plain, err := NewService(set, ServiceOptions{MemoEntries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Each batch of distinct random mappings floods the memo with
+	// distinct keys; the window heuristic must grow the table.
+	for batch := 0; batch < 4; batch++ {
+		ms := make([]*portmap.Mapping, 48)
+		for i := range ms {
+			ms[i] = portmap.Random(rng, portmap.RandomOptions{NumInsts: 12, NumPorts: 6, MaxUops: 3})
+		}
+		want := make([]Fitness, len(ms))
+		if err := plain.EvaluateAll(ms, want); err != nil {
+			t.Fatal(err)
+		}
+		for _, svc := range []*Service{auto, pinned} {
+			got := make([]Fitness, len(ms))
+			if err := svc.EvaluateAll(ms, got); err != nil {
+				t.Fatal(err)
+			}
+			for i := range ms {
+				if got[i] != want[i] {
+					t.Fatalf("batch %d mapping %d: %+v != uncached %+v", batch, i, got[i], want[i])
+				}
+			}
+		}
+	}
+
+	st := auto.Stats()
+	if st.MemoResizes < 1 {
+		t.Errorf("auto memo never grew (misses=%d, entries=%d)", st.MemoMisses, st.MemoEntries)
+	}
+	if st.MemoEntries <= autoMemoFloor || st.MemoEntries > autoMemoCeil {
+		t.Errorf("auto memo entries = %d, want in (%d, %d]", st.MemoEntries, autoMemoFloor, autoMemoCeil)
+	}
+	if pst := pinned.Stats(); pst.MemoResizes != 0 || pst.MemoEntries != 1<<15 {
+		t.Errorf("pinned memo changed size: %+v", pst)
+	}
+	if plain.Stats().MemoEntries != 0 {
+		t.Error("disabled memo reports entries")
 	}
 }

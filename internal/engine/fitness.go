@@ -31,9 +31,13 @@ type ServiceOptions struct {
 	// (no memoization).
 	Predictor Predictor
 	// MemoEntries bounds the shared per-experiment throughput memo
-	// (slots, rounded up to a power of two). 0 selects a default scaled
-	// to the experiment count; negative disables memoization entirely.
-	// The memo only accelerates the built-in bottleneck fast path.
+	// (slots, rounded up to a power of two). 0 selects adaptive sizing:
+	// the memo starts small and grows — up to a bounded maximum — when
+	// the observed miss traffic indicates collision churn (see
+	// maybeGrowMemo). Positive values pin the size; negative disables
+	// memoization entirely. Sizing never changes results: a smaller
+	// table only recomputes more. The memo only accelerates the built-in
+	// bottleneck fast path.
 	MemoEntries int
 }
 
@@ -54,6 +58,10 @@ type CacheStats struct {
 	// have to re-predict because the changed instruction does not occur
 	// in them.
 	DeltaExperimentsSkipped int64
+	// MemoEntries is the current memo size in slots (0 when the memo is
+	// disabled); MemoResizes counts adaptive growth steps.
+	MemoEntries int64
+	MemoResizes int64
 }
 
 // Service evaluates candidate port mappings against a fixed measured
@@ -103,7 +111,13 @@ type Service struct {
 	// expSalt[i] seeds experiment i's memo key, so equal fingerprint
 	// tuples of different experiments (different counts) never alias.
 	expSalt []uint64
-	memo    *memoTable // nil: memoization disabled
+	// memo is nil-pointer-valued when memoization is disabled. With
+	// adaptive sizing (memoAuto) the table is replaced wholesale on
+	// growth — readers hold whatever table they loaded, which is safe:
+	// the table is a cache of a pure function.
+	memo     atomic.Pointer[memoTable]
+	memoAuto bool
+	memoMax  int
 
 	workerSc []evalScratch // per-worker state for EvaluateAll
 	pool     sync.Pool     // *evalScratch for Evaluate
@@ -113,6 +127,10 @@ type Service struct {
 	memoHits     atomic.Int64
 	memoMisses   atomic.Int64
 	deltaSkipped atomic.Int64
+	memoResizes  atomic.Int64
+	// missesAtGrow remembers the total miss count at the last growth
+	// decision, so maybeGrowMemo reasons about a window of traffic.
+	missesAtGrow atomic.Int64
 }
 
 // maxTableFastPorts gates the per-instruction subset-sum-table fast
@@ -201,19 +219,19 @@ func (sc *evalScratch) unitFor(m *portmap.Mapping, inst int) []portmap.MassTerm 
 	return u
 }
 
-// defaultMemoEntries scales the memo to the experiment set: enough slots
-// that a generation's distinct decomposition tuples rarely collide, with
-// hard floor/ceiling bounds.
-func defaultMemoEntries(numExps int) int {
-	n := 64 * numExps
-	if n < 1<<12 {
-		n = 1 << 12
-	}
-	if n > 1<<20 {
-		n = 1 << 20
-	}
-	return n
-}
+// Adaptive memo sizing (ServiceOptions.MemoEntries == 0): the table
+// starts at the floor and quadruples — up to the ceiling — whenever a
+// traffic window records more misses than ¾ of the table's slots, the
+// signature of distinct keys churning through a too-small direct-mapped
+// cache. Small inference runs stay at a few KiB; population-scale runs
+// grow to collision-free sizes within a generation or two. Resizing
+// discards the old table's entries, which costs only recomputation:
+// memoized values are exact, so results are bit-identical at any size.
+const (
+	autoMemoFloor      = 1 << 12
+	autoMemoCeil       = 1 << 20
+	autoMemoGrowFactor = 4
+)
 
 // NewService compiles the measured experiment set into a Service.
 func NewService(set *exp.Set, opts ServiceOptions) (*Service, error) {
@@ -267,15 +285,51 @@ func NewService(set *exp.Set, opts ServiceOptions) (*Service, error) {
 	if opts.MemoEntries >= 0 && opts.Predictor == nil {
 		entries := opts.MemoEntries
 		if entries == 0 {
-			entries = defaultMemoEntries(len(s.meas))
+			entries = autoMemoFloor
+			s.memoAuto = true
+			s.memoMax = autoMemoCeil
 		}
-		s.memo = newMemoTable(entries)
+		s.memo.Store(newMemoTable(entries))
 		s.expSalt = make([]uint64, len(s.meas))
 		for i := range s.expSalt {
 			s.expSalt[i] = portmap.CombineFingerprints(0xa0761d6478bd642f, uint64(i)+1)
 		}
 	}
 	return s, nil
+}
+
+// maybeGrowMemo is the adaptive-sizing decision point, called after each
+// batch (EvaluateAll/NewState): if the traffic window since the last
+// decision produced more misses than ¾ of the current table, the table
+// is too small for the workload's distinct-key set and is replaced by a
+// larger empty one. The CAS on the window marker makes concurrent
+// callers elect a single grower.
+func (s *Service) maybeGrowMemo() {
+	if !s.memoAuto {
+		return
+	}
+	t := s.memo.Load()
+	if t == nil || t.size() >= s.memoMax {
+		return
+	}
+	misses := s.memoMisses.Load()
+	last := s.missesAtGrow.Load()
+	if misses-last <= int64(t.size())*3/4 {
+		return
+	}
+	if !s.missesAtGrow.CompareAndSwap(last, misses) {
+		return
+	}
+	size := t.size() * autoMemoGrowFactor
+	if size > s.memoMax {
+		size = s.memoMax
+	}
+	// CAS on the table itself: a concurrent grower that already replaced
+	// t must not be overwritten with a table sized from the stale load
+	// (that would discard a populated, possibly larger table).
+	if s.memo.CompareAndSwap(t, newMemoTable(size)) {
+		s.memoResizes.Add(1)
+	}
 }
 
 // NumExperiments returns the number of measurements the service
@@ -292,13 +346,18 @@ func (s *Service) Evaluations() int { return int(s.evals.Load()) }
 
 // Stats returns a snapshot of the evaluation counters.
 func (s *Service) Stats() CacheStats {
-	return CacheStats{
+	st := CacheStats{
 		Evaluations:             s.evals.Load(),
 		DeltaEvaluations:        s.deltaEvals.Load(),
 		MemoHits:                s.memoHits.Load(),
 		MemoMisses:              s.memoMisses.Load(),
 		DeltaExperimentsSkipped: s.deltaSkipped.Load(),
+		MemoResizes:             s.memoResizes.Load(),
 	}
+	if t := s.memo.Load(); t != nil {
+		st.MemoEntries = int64(t.size())
+	}
+	return st
 }
 
 // experiment returns the i-th pre-flattened experiment without copying.
@@ -322,17 +381,19 @@ func (s *Service) expKey(m *portmap.Mapping, i int) uint64 {
 	return key
 }
 
-// predictOne predicts experiment i under m on the fast path, through the
-// memo when enabled. Memo misses evaluate via the per-instruction
+// predictOne predicts experiment i under m on the fast path, through
+// memo table t when non-nil (the caller loads the table once per
+// candidate, so one growth swap cannot split a candidate's lookups
+// between tables). Memo misses evaluate via the per-instruction
 // subset-sum tables (or, for wide port universes, the pre-flattened unit
 // terms) in sc, which must have been ensured for m. All three routes are
 // bit-identical to ThroughputOf.
-func (s *Service) predictOne(sc *evalScratch, m *portmap.Mapping, i int) float64 {
-	if s.memo == nil {
+func (s *Service) predictOne(sc *evalScratch, t *memoTable, m *portmap.Mapping, i int) float64 {
+	if t == nil {
 		return sc.ev.ThroughputOf(m, s.experiment(i))
 	}
 	key := s.expKey(m, i)
-	if v, ok := s.memo.get(key); ok {
+	if v, ok := t.get(key); ok {
 		sc.hits++
 		return v
 	}
@@ -354,20 +415,21 @@ func (s *Service) predictOne(sc *evalScratch, m *portmap.Mapping, i int) float64
 		}
 		v = sc.ev.BottleneckParts(sc.parts)
 	}
-	s.memo.put(key, v)
+	t.put(key, v)
 	return v
 }
 
 // davgFast computes Davg(m) on the fast path, optionally capturing the
 // per-experiment predictions into preds (len(preds) == NumExperiments).
 func (s *Service) davgFast(sc *evalScratch, m *portmap.Mapping, preds []float64) float64 {
-	if s.memo != nil {
+	t := s.memo.Load()
+	if t != nil {
 		sc.ensure(s.numInsts, m.NumPorts)
 	}
 	sc.hits, sc.miss = 0, 0
 	sum := 0.0
 	for i, meas := range s.meas {
-		pred := s.predictOne(sc, m, i)
+		pred := s.predictOne(sc, t, m, i)
 		if preds != nil {
 			preds[i] = pred
 		}
@@ -430,6 +492,7 @@ func (s *Service) Evaluate(m *portmap.Mapping) (Fitness, error) {
 	sc := s.getScratch()
 	f := Fitness{Davg: s.davgFast(sc, m, nil), Volume: m.Volume()}
 	s.putScratch(sc)
+	s.maybeGrowMemo()
 	return f, nil
 }
 
@@ -444,6 +507,7 @@ func (s *Service) EvaluateAll(ms []*portmap.Mapping, out []Fitness) error {
 		ForEachWorker(len(ms), s.workers, func(w, i int) {
 			out[i] = Fitness{Davg: s.davgFast(&s.workerSc[w], ms[i], nil), Volume: ms[i].Volume()}
 		})
+		s.maybeGrowMemo()
 		return nil
 	}
 	return ForEachErr(len(ms), s.workers, func(i int) error {

@@ -2,53 +2,35 @@ package engine
 
 import (
 	"math"
-	"sync/atomic"
+
+	"pmevo/internal/cachetable"
 )
 
 // memoTable is the bounded, shared throughput memo of the fitness
-// Service: a fixed-size array of independently atomic slots, direct-mapped
-// by key. Reads and writes are lock-free; the population's worker
-// goroutines share one table, so a decomposition tuple evaluated by any
-// candidate is reused by every other candidate of the generation.
-//
-// Each slot packs (key, value) into two atomic words with the
-// transposition-table XOR trick: the tag word stores key ^ valueBits, so
-// a torn read (tag from one write, value from another) fails the tag
-// check and reads as a miss instead of returning a mismatched value. A
-// false hit requires two concurrently written keys with colliding
-// tag/value XORs — the same ~2^-64 regime as a fingerprint collision.
-//
-// The table is a cache, not a map: colliding keys overwrite each other
-// (bounded memory, no eviction bookkeeping), and a lost entry only costs
-// a recomputation.
+// Service: a cachetable.Table storing float64 throughputs, direct-mapped
+// by the decomposition-fingerprint key of an experiment. The
+// population's worker goroutines share one table, so a decomposition
+// tuple evaluated by any candidate is reused by every other candidate
+// of the generation; a slot lost to a colliding key only costs a
+// recomputation, and memoized values are the exact floats a fresh
+// evaluation would produce.
 type memoTable struct {
-	mask    uint64
-	entries []memoEntry
-}
-
-type memoEntry struct {
-	tag atomic.Uint64 // key ^ val
-	val atomic.Uint64 // math.Float64bits of the throughput
+	t *cachetable.Table
 }
 
 // newMemoTable creates a table with at least `entries` slots, rounded up
 // to a power of two.
 func newMemoTable(entries int) *memoTable {
-	size := 1
-	for size < entries {
-		size <<= 1
-	}
-	return &memoTable{
-		mask:    uint64(size - 1),
-		entries: make([]memoEntry, size),
-	}
+	return &memoTable{t: cachetable.New(entries)}
 }
 
+// size returns the slot count.
+func (m *memoTable) size() int { return m.t.Len() }
+
 // get returns the memoized throughput for key, if present.
-func (t *memoTable) get(key uint64) (float64, bool) {
-	e := &t.entries[key&t.mask]
-	v := e.val.Load()
-	if e.tag.Load() != key^v {
+func (m *memoTable) get(key uint64) (float64, bool) {
+	v, ok := m.t.Get(key)
+	if !ok {
 		return 0, false
 	}
 	return math.Float64frombits(v), true
@@ -56,9 +38,6 @@ func (t *memoTable) get(key uint64) (float64, bool) {
 
 // put stores the throughput for key, overwriting whatever shared the
 // slot.
-func (t *memoTable) put(key uint64, tp float64) {
-	v := math.Float64bits(tp)
-	e := &t.entries[key&t.mask]
-	e.tag.Store(key ^ v)
-	e.val.Store(v)
+func (m *memoTable) put(key uint64, tp float64) {
+	m.t.Put(key, math.Float64bits(tp))
 }

@@ -39,6 +39,8 @@ type FitnessBenchRun struct {
 	EvalsPerSec      float64
 	MemoHits         int64
 	MemoMisses       int64
+	MemoEntries      int64
+	MemoResizes      int64
 	DeltaEvals       int64
 	DeltaExpsSkipped int64
 	BestError        float64
@@ -96,6 +98,8 @@ func RunFitnessBench(scale Scale) (*FitnessBenchResult, error) {
 			Evaluations:      r.FitnessEvaluations,
 			MemoHits:         r.CacheStats.MemoHits,
 			MemoMisses:       r.CacheStats.MemoMisses,
+			MemoEntries:      r.CacheStats.MemoEntries,
+			MemoResizes:      r.CacheStats.MemoResizes,
 			DeltaEvals:       r.CacheStats.DeltaEvaluations,
 			DeltaExpsSkipped: r.CacheStats.DeltaExperimentsSkipped,
 			BestError:        r.BestError,

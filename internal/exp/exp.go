@@ -39,6 +39,15 @@ type Measurer interface {
 // can measure a whole batch at once (e.g. measure.Harness, which fans
 // the deterministic simulations out over all cores). Results must be in
 // experiment order and identical to sequential Measure calls.
+//
+// The contract deliberately leaves room for backends to amortize the
+// deterministic part of a measurement — measure.Harness caches the
+// noiseless steady-state simulation per canonical kernel and reuses it
+// across repeated and aliased bodies — as long as the noise/variance
+// component is still drawn per measurement in experiment order, so batch
+// and sequential results stay bit-identical. Experiments in a batch must
+// NOT be deduplicated at this level: two equal experiments are distinct
+// measurements and receive independent noise.
 type BatchMeasurer interface {
 	Measurer
 	MeasureAll(es []portmap.Experiment) ([]float64, error)

@@ -15,6 +15,14 @@
 // observes (Figure 6), alongside measurement noise. A deliberately weak
 // configuration (narrow dispatch, small window) reproduces the A72's
 // "less advanced out-of-order execution engine" (§5.3.2).
+//
+// Because the scheduler is deterministic, a loop body's execution becomes
+// exactly periodic once the simulator state recurs. Run exploits this:
+// it hashes a canonical state snapshot every cycle and, on recurrence,
+// extrapolates the remaining iterations arithmetically instead of
+// simulating them — with results bit-identical to full cycle-by-cycle
+// simulation (see period.go). Simulation storage lives in pooled
+// per-goroutine scratch, so steady-state runs allocate (almost) nothing.
 package machine
 
 import (
@@ -22,6 +30,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync"
 
 	"pmevo/internal/portmap"
 )
@@ -40,6 +49,17 @@ const (
 	LowestIndex
 )
 
+// PeriodDetectDisabled disables steady-state period detection when
+// assigned to Config.PeriodDetectBudget: Run simulates every cycle.
+const PeriodDetectDisabled = -1
+
+// defaultPeriodDetectBudget is the number of simulated cycles Run spends
+// looking for a steady-state period (Config.PeriodDetectBudget == 0)
+// before falling back to plain cycle-by-cycle simulation. Harness-scale
+// loop bodies (~50 instructions) settle into their period within a few
+// body iterations, far below this bound.
+const defaultPeriodDetectBudget = 4096
+
 // Config describes the simulated core.
 type Config struct {
 	// NumPorts is the number of execution ports.
@@ -55,6 +75,13 @@ type Config struct {
 	// FrequencyGHz converts cycles to wall-clock time for the
 	// measurement harness.
 	FrequencyGHz float64
+	// PeriodDetectBudget caps the number of simulated cycles examined by
+	// steady-state period detection before Run falls back to plain
+	// cycle-by-cycle simulation for the rest of the run. 0 selects a
+	// default budget; PeriodDetectDisabled (or any negative value) turns
+	// detection off entirely. Detection never changes results: an
+	// extrapolated run is bit-identical to full simulation, only cheaper.
+	PeriodDetectBudget int
 }
 
 // Validate checks the configuration.
@@ -120,6 +147,13 @@ type Result struct {
 	// OccupancySum accumulates the window occupancy per cycle; divide by
 	// Cycles (MeanOccupancy) for the average number of waiting µops.
 	OccupancySum int64
+	// DetectedPeriod is the steady-state period in cycles found by
+	// period detection (0 when no recurrence was found and the run was
+	// simulated cycle by cycle; non-zero even if the extrapolation then
+	// skipped zero whole periods because the tail covered the rest).
+	// Diagnostic metadata: it does not affect, and is not part of, the
+	// simulated semantics.
+	DetectedPeriod int64
 }
 
 // IPC returns instructions per cycle.
@@ -148,10 +182,15 @@ func (r Result) WindowFullFraction() float64 {
 	return float64(r.WindowFullCycles) / float64(r.Cycles)
 }
 
-// Machine is a simulated core with a fixed instruction spec table.
+// Machine is a simulated core with a fixed instruction spec table. It is
+// immutable after construction and safe for concurrent Run calls: every
+// run draws its storage from an internal scratch pool.
 type Machine struct {
-	cfg   Config
-	specs []InstSpec
+	cfg    Config
+	specs  []InstSpec
+	fp     uint64
+	specFP []uint64
+	pool   sync.Pool // *runScratch
 }
 
 // New creates a machine. Every spec must have at least one µop and every
@@ -180,7 +219,12 @@ func New(cfg Config, specs []InstSpec) (*Machine, error) {
 			}
 		}
 	}
-	return &Machine{cfg: cfg, specs: specs}, nil
+	m := &Machine{cfg: cfg, specs: specs, fp: fingerprintMachine(cfg, specs)}
+	m.specFP = make([]uint64, len(specs))
+	for i := range specs {
+		m.specFP[i] = fingerprintSpec(&specs[i])
+	}
+	return m, nil
 }
 
 // Config returns the machine configuration.
@@ -189,160 +233,52 @@ func (m *Machine) Config() Config { return m.cfg }
 // NumSpecs returns the number of instruction specs.
 func (m *Machine) NumSpecs() int { return len(m.specs) }
 
+// Fingerprint returns a 64-bit identity of the simulated machine: the
+// configuration and every instruction spec, hashed. Two machines with
+// equal fingerprints produce identical Run results on every body (up to
+// ~2^-64 hash-collision odds). The period-detection budget is excluded —
+// it never changes results. The measurement layer's kernel-simulation
+// cache keys on this.
+func (m *Machine) Fingerprint() uint64 { return m.fp }
+
+// SpecFingerprint returns a content hash of one instruction spec (µop
+// decomposition and latency). Distinct spec IDs with equal fingerprints
+// behave identically in the simulator, so a canonical loop-body encoding
+// can substitute the fingerprint for the ID: instruction forms of the
+// same semantic class share specs, and their measurement kernels then
+// deduplicate in the kernel-simulation cache — the bulk of the
+// redundancy in Table 1-shaped form sets.
+func (m *Machine) SpecFingerprint(spec int) uint64 { return m.specFP[spec] }
+
+// fingerprintSpec hashes one spec's simulator-visible content.
+func fingerprintSpec(s *InstSpec) uint64 {
+	h := mixA(0x706d65766f737063) // "pmevospc"
+	h = mixA(h ^ uint64(s.Latency)<<32 ^ uint64(len(s.Uops)))
+	for _, u := range s.Uops {
+		h = mixA(h ^ uint64(u.Ports))
+		h = mixA(h ^ uint64(u.Block))
+	}
+	return h
+}
+
+// fingerprintMachine hashes the result-determining parts of a machine:
+// the configuration plus every spec's content fingerprint, so the two
+// hashes can never disagree about what counts as simulator-visible
+// spec content.
+func fingerprintMachine(cfg Config, specs []InstSpec) uint64 {
+	h := mixA(0x706d65766f6d6163) // "pmevomac"
+	h = mixA(h ^ uint64(cfg.NumPorts))
+	h = mixA(h ^ uint64(cfg.DispatchWidth))
+	h = mixA(h ^ uint64(cfg.WindowSize))
+	h = mixA(h ^ uint64(cfg.Policy))
+	h = mixA(h ^ math.Float64bits(cfg.FrequencyGHz))
+	for i := range specs {
+		h = mixA(h ^ fingerprintSpec(&specs[i]))
+	}
+	return h
+}
+
 const notReady = math.MaxInt64 / 4
-
-// flight is a µop in the scheduler window.
-type flight struct {
-	ports    portmap.PortSet
-	block    int
-	srcs     []*int64 // completion cells of the producing instructions
-	instCell *int64   // completion cell of this µop's instruction
-	instLeft *int32   // remaining un-issued µops of the instruction
-	latency  int64
-}
-
-// Run executes the loop body `iters` times and returns the result.
-// The body's register reads and writes establish dependencies across
-// iterations exactly as in real hardware (loop-carried dependencies are
-// respected; the measurement harness unrolls to avoid them).
-func (m *Machine) Run(body []Inst, iters int) (Result, error) {
-	for idx, in := range body {
-		if in.Spec < 0 || in.Spec >= len(m.specs) {
-			return Result{}, fmt.Errorf("machine: instruction %d references unknown spec %d", idx, in.Spec)
-		}
-	}
-	if len(body) == 0 || iters <= 0 {
-		return Result{PortUops: make([]int64, m.cfg.NumPorts)}, nil
-	}
-
-	// regCell maps a register ID to the completion cell of its most
-	// recent writer (register renaming: each dispatch of a writer
-	// installs a fresh cell).
-	regCell := make(map[int]*int64)
-	zero := int64(0)
-	cellFor := func(reg int) *int64 {
-		if c, ok := regCell[reg]; ok {
-			return c
-		}
-		regCell[reg] = &zero
-		return &zero
-	}
-
-	res := Result{PortUops: make([]int64, m.cfg.NumPorts)}
-
-	window := make([]*flight, 0, m.cfg.WindowSize)
-	portBusyUntil := make([]int64, m.cfg.NumPorts)
-	portLoad := make([]int64, m.cfg.NumPorts)
-
-	// Stream state: next µop to dispatch.
-	iter, bodyIdx, uopIdx := 0, 0, 0
-	var curCell *int64
-	var curLeft *int32
-	var curSrcs []*int64
-	var curSpec *InstSpec
-	startInst := func() {
-		in := body[bodyIdx]
-		spec := &m.specs[in.Spec]
-		curSpec = spec
-		curSrcs = make([]*int64, 0, len(in.Reads))
-		for _, r := range in.Reads {
-			curSrcs = append(curSrcs, cellFor(r))
-		}
-		cell := new(int64)
-		*cell = notReady
-		left := int32(len(spec.Uops))
-		curCell, curLeft = cell, &left
-		for _, w := range in.Writes {
-			regCell[w] = cell
-		}
-		res.Instructions++
-	}
-	startInst()
-
-	done := func() bool { return iter >= iters }
-	var lastIssue int64 = -1
-
-	const watchdog = int64(1) << 40
-	for cycle := int64(0); ; cycle++ {
-		if cycle > watchdog {
-			return Result{}, errors.New("machine: simulation exceeded watchdog limit")
-		}
-		// Dispatch stage: move up to DispatchWidth µops into the window.
-		dispatched := 0
-		for !done() && dispatched < m.cfg.DispatchWidth && len(window) < m.cfg.WindowSize {
-			u := curSpec.Uops[uopIdx]
-			window = append(window, &flight{
-				ports:    u.Ports,
-				block:    u.Block,
-				srcs:     curSrcs,
-				instCell: curCell,
-				instLeft: curLeft,
-				latency:  int64(curSpec.Latency),
-			})
-			dispatched++
-			uopIdx++
-			if uopIdx == len(curSpec.Uops) {
-				uopIdx = 0
-				bodyIdx++
-				if bodyIdx == len(body) {
-					bodyIdx = 0
-					iter++
-				}
-				if !done() {
-					startInst()
-				}
-			}
-		}
-
-		// Window statistics: a dispatch halted purely by window capacity
-		// marks this cycle as window-stalled.
-		if !done() && dispatched < m.cfg.DispatchWidth && len(window) >= m.cfg.WindowSize {
-			res.WindowFullCycles++
-		}
-		res.OccupancySum += int64(len(window))
-
-		// Issue stage: oldest-first greedy issue to free allowed ports.
-		var issuedPorts portmap.PortSet
-		w := 0
-		for _, f := range window {
-			ready := true
-			for _, s := range f.srcs {
-				if *s > cycle {
-					ready = false
-					break
-				}
-			}
-			if !ready {
-				window[w] = f
-				w++
-				continue
-			}
-			port := m.pickPort(f.ports, issuedPorts, portBusyUntil, portLoad, cycle)
-			if port < 0 {
-				window[w] = f
-				w++
-				continue
-			}
-			issuedPorts = issuedPorts.With(port)
-			portBusyUntil[port] = cycle + int64(f.block)
-			portLoad[port]++
-			res.PortUops[port]++
-			res.Uops++
-			lastIssue = cycle
-			*f.instLeft--
-			if *f.instLeft == 0 {
-				*f.instCell = cycle + f.latency
-			}
-		}
-		window = window[:w]
-
-		if done() && len(window) == 0 {
-			break
-		}
-	}
-	res.Cycles = lastIssue + 1
-	return res, nil
-}
 
 // pickPort selects a port for a µop that may use `allowed`, given the
 // ports already used this cycle and the per-port busy state. It returns
@@ -369,17 +305,19 @@ func (m *Machine) pickPort(allowed, issued portmap.PortSet, busyUntil, load []in
 // SteadyStateCycles runs the body for warmup+measure iterations and
 // returns the marginal cycles per iteration over the measured portion,
 // implementing the steady-state throughput of Definition 1.
+//
+// The two underlying runs share one simulation pass (runPair): the
+// steady-state transient is simulated once and the warmup-length run is
+// completed from a forked state copy, with both cycle counts
+// bit-identical to standalone Runs (and hence to brute-force simulation
+// with detection disabled).
 func (m *Machine) SteadyStateCycles(body []Inst, warmup, measure int) (float64, error) {
 	if measure <= 0 {
 		return 0, errors.New("machine: measure iterations must be positive")
 	}
-	r1, err := m.Run(body, warmup)
+	c1, r2, err := m.runPair(body, warmup, warmup+measure)
 	if err != nil {
 		return 0, err
 	}
-	r2, err := m.Run(body, warmup+measure)
-	if err != nil {
-		return 0, err
-	}
-	return float64(r2.Cycles-r1.Cycles) / float64(measure), nil
+	return float64(r2.Cycles-c1) / float64(measure), nil
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package machine_test
+
+const raceEnabled = false

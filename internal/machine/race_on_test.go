@@ -1,0 +1,7 @@
+//go:build race
+
+package machine_test
+
+// raceEnabled: the race detector instruments allocations, so
+// allocation-count assertions are meaningless under -race.
+const raceEnabled = true

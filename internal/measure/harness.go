@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 
 	"pmevo/internal/engine"
 	"pmevo/internal/isa"
@@ -43,6 +44,11 @@ type Options struct {
 	Seed int64
 	// Pools overrides the register pool sizes (zero value: ISA default).
 	Pools PoolSizes
+	// DisableSimCache bypasses the shared kernel-simulation cache (the
+	// noiseless steady-state cycles per canonical loop body; see
+	// simcache.go). Measurement results are bit-identical either way —
+	// the knob exists for benchmarking and debugging.
+	DisableSimCache bool
 }
 
 // DefaultOptions returns the paper's measurement parameters.
@@ -68,6 +74,11 @@ type Harness struct {
 	rng  *rand.Rand
 
 	measurements int // number of Measure calls, for cost accounting
+
+	// Kernel-cache counters; atomic because MeasureAll simulates
+	// concurrently.
+	simHits   atomic.Int64
+	simMisses atomic.Int64
 }
 
 // NewHarness builds a harness for the given processor.
@@ -150,7 +161,7 @@ func (h *Harness) EmitProgram(e portmap.Experiment) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	cyclesPerIter, err := h.mach.SteadyStateCycles(ToMachineInsts(body), h.opts.WarmupIters, h.opts.MeasureIters)
+	cyclesPerIter, err := h.steadyState(ToMachineInsts(body))
 	if err != nil {
 		return "", err
 	}
@@ -171,16 +182,18 @@ func (h *Harness) Measure(e portmap.Experiment) (float64, error) {
 }
 
 // simulate runs the deterministic part of a measurement: loop
-// construction and the steady-state simulation, yielding the noise-free
-// cycles per experiment instance. It touches no harness state, so
-// simulations of independent experiments may run concurrently (the
-// simulated machine is immutable).
+// construction and the steady-state simulation — through the shared
+// kernel cache, which is keyed on the canonical body and so deduplicates
+// count-scaled experiment aliases and repeats across experiment sets —
+// yielding the noise-free cycles per experiment instance. It touches
+// only atomic harness state, so simulations of independent experiments
+// may run concurrently (the simulated machine is immutable).
 func (h *Harness) simulate(e portmap.Experiment) (float64, error) {
 	body, instances, err := h.BuildLoop(e)
 	if err != nil {
 		return 0, err
 	}
-	cyclesPerIter, err := h.mach.SteadyStateCycles(body, h.opts.WarmupIters, h.opts.MeasureIters)
+	cyclesPerIter, err := h.steadyState(body)
 	if err != nil {
 		return 0, err
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"pmevo/internal/isa"
+	"pmevo/internal/machine"
 	"pmevo/internal/portmap"
 	"pmevo/internal/throughput"
 	"pmevo/internal/uarch"
@@ -451,5 +452,174 @@ func TestMeasureAllMatchesSequentialMeasure(t *testing.T) {
 	}
 	if par.Measurements() != seq.Measurements() {
 		t.Errorf("accounting diverged: %d vs %d", par.Measurements(), seq.Measurements())
+	}
+}
+
+// TestMeasureAllKernelCacheBitExact is the fixed-seed golden test of the
+// kernel-simulation cache: MeasureAll over an experiment list with
+// count-scaled aliases and literal repeats must produce bit-identical
+// outputs with the cache enabled and disabled (the cache sits below the
+// noise layer, which draws per measurement in experiment order either
+// way).
+func TestMeasureAllKernelCacheBitExact(t *testing.T) {
+	proc := uarch.SKL()
+	var es []portmap.Experiment
+	for i := 0; i < 8; i++ {
+		es = append(es, portmap.Experiment{{Inst: proc.ISA.Form(i).ID, Count: 1}})
+		es = append(es, portmap.Experiment{{Inst: proc.ISA.Form(i).ID, Count: 2}}) // body-aliases the singleton
+	}
+	es = append(es, es[0], es[1]) // literal repeats
+	opts := DefaultOptions()
+	opts.Seed = 42
+
+	cached, err := NewHarness(proc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cached.MeasureAll(es)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	optsOff := opts
+	optsOff.DisableSimCache = true
+	plain, err := NewHarness(proc, optsOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plain.MeasureAll(es)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Full brute force: cache off AND steady-state period detection off.
+	bruteProc := uarch.SKL()
+	bruteProc.Config.PeriodDetectBudget = machine.PeriodDetectDisabled
+	brute, err := NewHarness(bruteProc, optsOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBrute, err := brute.MeasureAll(es)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range es {
+		if got[i] != want[i] {
+			t.Errorf("experiment %d: cached %v != uncached %v", i, got[i], want[i])
+		}
+		if got[i] != wantBrute[i] {
+			t.Errorf("experiment %d: fast path %v != brute-force simulation %v", i, got[i], wantBrute[i])
+		}
+	}
+	st := cached.CacheStats()
+	if st.SimHits+st.SimMisses != int64(len(es)) {
+		t.Errorf("hits+misses = %d, want %d simulations", st.SimHits+st.SimMisses, len(es))
+	}
+	// Re-measuring the same batch must be served from the cache (every
+	// key was inserted by the first batch; nothing else writes between).
+	// The first batch's own hit count is NOT asserted: concurrent
+	// simulations of aliased bodies can race, both missing before either
+	// inserts.
+	again, err := cached.MeasureAll(es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range es {
+		if again[i] == got[i] {
+			t.Errorf("experiment %d: identical noisy value on re-measurement; rng did not advance", i)
+		}
+	}
+	st2 := cached.CacheStats()
+	if delta := st2.SimHits - st.SimHits; delta != int64(len(es)) {
+		t.Errorf("second batch hit %d of %d simulations", delta, len(es))
+	}
+	off := plain.CacheStats()
+	if off.SimHits != 0 || off.SimMisses != 0 {
+		t.Errorf("disabled cache recorded traffic: %+v", off)
+	}
+}
+
+// TestKernelCacheAliasedBodies pins the aliasing property the body-level
+// cache key exists for: a singleton {i→1} and its count-scaled variant
+// {i→k} unroll to the identical concrete loop body.
+func TestKernelCacheAliasedBodies(t *testing.T) {
+	proc := uarch.SKL()
+	h, err := NewHarness(proc, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := proc.ISA.FormByName("add_r64_r64")
+	b1, _, err := h.BuildLoop(portmap.Experiment{{Inst: f.ID, Count: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _, err := h.BuildLoop(portmap.Experiment{{Inst: f.ID, Count: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b1) != len(b2) {
+		t.Fatalf("aliased bodies differ in length: %d vs %d", len(b1), len(b2))
+	}
+	k1 := simKey(h.mach, 1, 1, b1)
+	k2 := simKey(h.mach, 1, 1, b2)
+	if k1 != k2 {
+		t.Fatal("aliased bodies produce different cache keys")
+	}
+	// Distinct iteration options must not alias.
+	if simKey(h.mach, 1, 1, b1) == simKey(h.mach, 2, 1, b1) ||
+		simKey(h.mach, 1, 1, b1) == simKey(h.mach, 1, 2, b1) {
+		t.Error("cache key ignores the iteration counts")
+	}
+	// Class-level canonicalization: two forms with identical simulator
+	// specs (same semantic class) produce aliased singleton kernels.
+	g, ok := proc.ISA.FormByName("sub_r64_r64")
+	if !ok {
+		t.Skip("sub_r64_r64 not in ISA")
+	}
+	b3, _, err := h.BuildLoop(portmap.Experiment{{Inst: g.ID, Count: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.ID == f.ID {
+		t.Fatal("expected distinct forms")
+	}
+	if simKey(h.mach, 1, 1, b3) != k1 {
+		t.Error("same-class forms (identical specs) should alias in the kernel cache")
+	}
+}
+
+// TestMeasureNoiseStreamIndependentOfCache pins the noise-ordering
+// guarantee directly: measuring the same experiment twice must give two
+// different noisy values (the rng advances per measurement), and the
+// pair must be identical between a cache-on and a cache-off harness.
+func TestMeasureNoiseStreamIndependentOfCache(t *testing.T) {
+	proc := uarch.ZEN()
+	e := portmap.Experiment{{Inst: proc.ISA.Form(0).ID, Count: 1}}
+	run := func(disable bool) [2]float64 {
+		opts := DefaultOptions()
+		opts.Seed = 7
+		opts.DisableSimCache = disable
+		h, err := NewHarness(proc, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out [2]float64
+		for i := range out {
+			v, err := h.Measure(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = v
+		}
+		return out
+	}
+	on := run(false)
+	off := run(true)
+	if on != off {
+		t.Errorf("noise stream diverged: cache on %v, off %v", on, off)
+	}
+	if on[0] == on[1] {
+		t.Error("repeated measurements returned identical noisy values; noise not drawn per measurement")
 	}
 }

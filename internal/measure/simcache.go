@@ -1,0 +1,112 @@
+package measure
+
+import (
+	"math"
+
+	"pmevo/internal/cachetable"
+	"pmevo/internal/machine"
+	"pmevo/internal/portmap"
+)
+
+// Kernel-level simulation cache.
+//
+// The harness re-simulates identical loop bodies constantly: singleton
+// experiments alias their count-scaled variants ({i→1} and {i→k} unroll
+// to the same 50-instruction body), the same experiments recur across
+// experiment sets (pipeline generation, calibration probes, benchmark
+// sets, C emission), and every eval driver rebuilds harnesses over the
+// same three processors. The noiseless steady-state cycles of a body are
+// a pure function of (machine, warmup, measure, body), so they are
+// cached process-wide and shared by all harnesses.
+//
+// The cache sits strictly below the noise layer: a hit returns the exact
+// float the simulation would produce, and noise is drawn per measurement
+// in experiment order as before, so Measure/MeasureAll results are
+// bit-identical with the cache on or off (pinned by test). Keys hash the
+// machine fingerprint, the iteration counts, and the canonical body
+// (spec-content fingerprints plus register read/write lists); key
+// equality stands in for input equality at the same ~2^-64 odds as the
+// engine's fingerprint memo. Storage is the bounded XOR-tagged atomic
+// table shared with the engine memo (internal/cachetable).
+
+// simCacheEntries bounds the shared cache: 2^16 slots × 16 bytes = 1 MiB,
+// comfortably above the distinct-kernel count of a full Table 1
+// evaluation sweep.
+const simCacheEntries = 1 << 16
+
+// sharedSimCache is the process-wide kernel cache (float64 cycles per
+// iteration in a cachetable.Table). Pollution across harnesses is
+// harmless by construction: equal keys map to equal deterministic
+// simulation results.
+var sharedSimCache = cachetable.New(simCacheEntries)
+
+// FlushSimCache drops every cached kernel simulation. Results are never
+// affected — the cache holds a pure function of its key — but timing
+// is: benchmark drivers flush before a timed run so the reported cost
+// is cold-cache and independent of whatever measured earlier in the
+// process.
+func FlushSimCache() { sharedSimCache.Clear() }
+
+// simKey hashes one steady-state simulation request into its canonical
+// form: instructions are identified by spec *content* fingerprint, not
+// spec ID, so two bodies whose instructions decompose and behave
+// identically alias even when they reference different forms. Real form
+// sets make this the dominant redundancy: all instruction forms of a
+// semantic class (add/sub/and/... on the same operand shapes) share one
+// simulator spec, so their kernels — identical up to form IDs — collapse
+// to one simulation. The length-prefixed encoding of reads/writes keeps
+// genuinely distinct bodies from aliasing.
+func simKey(mach *machine.Machine, warmup, measure int, body []machine.Inst) uint64 {
+	key := portmap.CombineFingerprints(0x706d65766f73696d, mach.Fingerprint()) // "pmevosim"
+	key = portmap.CombineFingerprints(key, uint64(warmup))
+	key = portmap.CombineFingerprints(key, uint64(measure))
+	for i := range body {
+		in := &body[i]
+		key = portmap.CombineFingerprints(key, mach.SpecFingerprint(in.Spec))
+		key = portmap.CombineFingerprints(key, uint64(len(in.Reads))<<16|uint64(len(in.Writes)))
+		for _, r := range in.Reads {
+			key = portmap.CombineFingerprints(key, uint64(r))
+		}
+		for _, w := range in.Writes {
+			key = portmap.CombineFingerprints(key, uint64(w))
+		}
+	}
+	if key == 0 {
+		key = 1 // 0 would read an empty slot as a hit
+	}
+	return key
+}
+
+// CacheStats counts one harness's kernel-cache traffic. Hits + misses
+// equals the number of steady-state simulations requested; with the
+// cache disabled both stay zero.
+type CacheStats struct {
+	SimHits   int64
+	SimMisses int64
+}
+
+// CacheStats returns a snapshot of the harness's kernel-cache counters.
+func (h *Harness) CacheStats() CacheStats {
+	return CacheStats{SimHits: h.simHits.Load(), SimMisses: h.simMisses.Load()}
+}
+
+// steadyState returns the noiseless steady-state cycles per iteration of
+// a loop body, through the shared kernel cache unless disabled. Safe for
+// concurrent use (MeasureAll fans simulations out over all cores).
+func (h *Harness) steadyState(body []machine.Inst) (float64, error) {
+	if h.opts.DisableSimCache {
+		return h.mach.SteadyStateCycles(body, h.opts.WarmupIters, h.opts.MeasureIters)
+	}
+	key := simKey(h.mach, h.opts.WarmupIters, h.opts.MeasureIters, body)
+	if v, ok := sharedSimCache.Get(key); ok {
+		h.simHits.Add(1)
+		return math.Float64frombits(v), nil
+	}
+	v, err := h.mach.SteadyStateCycles(body, h.opts.WarmupIters, h.opts.MeasureIters)
+	if err != nil {
+		return 0, err
+	}
+	sharedSimCache.Put(key, math.Float64bits(v))
+	h.simMisses.Add(1)
+	return v, nil
+}

@@ -1,5 +1,7 @@
 package portmap
 
+import "fmt"
+
 // Decomposition fingerprints: every instruction's µop decomposition has a
 // 64-bit fingerprint, a hash of its canonical []UopCount form. Two
 // decompositions with the same multiset of µops have the same fingerprint;
@@ -55,13 +57,37 @@ func FingerprintDecomp(uops []UopCount) uint64 {
 // It reads the cache maintained by the mutating methods and recomputes
 // (without caching, so concurrent reads stay write-free) when the entry is
 // absent.
+//
+// Under the `pmevodebug` build tag every cached read is verified against
+// a recomputation and panics on mismatch, catching the one way to corrupt
+// the engine's memo layer: writing Mapping.Decomp directly without
+// calling InvalidateFingerprints. The release build skips the check (the
+// comparison would double the cost of the hottest read in the engine).
 func (m *Mapping) Fingerprint(inst int) uint64 {
 	if inst < len(m.fps) {
 		if fp := m.fps[inst]; fp != 0 {
+			if debugFingerprints && fp != FingerprintDecomp(m.Decomp[inst]) {
+				panic(fmt.Sprintf(
+					"portmap: instruction %d has a stale cached fingerprint: Decomp was written directly without InvalidateFingerprints", inst))
+			}
 			return fp
 		}
 	}
 	return FingerprintDecomp(m.Decomp[inst])
+}
+
+// CheckFingerprints verifies every cached fingerprint against its
+// decomposition and reports the first stale entry. It is the always-
+// available form of the `pmevodebug` assertion, for tests and debugging
+// sessions that suspect a direct Decomp write.
+func (m *Mapping) CheckFingerprints() error {
+	for i := range m.Decomp {
+		if i < len(m.fps) && m.fps[i] != 0 && m.fps[i] != FingerprintDecomp(m.Decomp[i]) {
+			return fmt.Errorf(
+				"portmap: instruction %d has a stale cached fingerprint: Decomp was written directly without InvalidateFingerprints", i)
+		}
+	}
+	return nil
 }
 
 // FingerprintAll returns a fingerprint of the whole mapping: the port

@@ -1,0 +1,9 @@
+//go:build pmevodebug
+
+package portmap
+
+// debugFingerprints: this build verifies every cached fingerprint read
+// against a recomputation (see Fingerprint), trading speed for an
+// immediate panic at the first stale read after a direct Mapping.Decomp
+// write.
+const debugFingerprints = true

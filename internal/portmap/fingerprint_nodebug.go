@@ -1,0 +1,9 @@
+//go:build !pmevodebug
+
+package portmap
+
+// debugFingerprints gates the stale-fingerprint assertion in
+// Fingerprint. The release build compiles the check away; build with
+// `-tags pmevodebug` (CI runs the core packages this way) to catch
+// direct Mapping.Decomp writes that skipped InvalidateFingerprints.
+const debugFingerprints = false

@@ -161,3 +161,25 @@ func uopsEqual(a, b []UopCount) bool {
 	}
 	return true
 }
+
+// TestCheckFingerprints is the always-available form of the pmevodebug
+// assertion: it must accept mappings maintained through the mutating
+// methods and name the instruction whose cache went stale after a direct
+// Decomp write.
+func TestCheckFingerprints(t *testing.T) {
+	m := NewMapping(3, 4)
+	for i := 0; i < 3; i++ {
+		m.SetDecomp(i, []UopCount{{Ports: MakePortSet(i), Count: 1 + i}})
+	}
+	if err := m.CheckFingerprints(); err != nil {
+		t.Fatalf("clean mapping rejected: %v", err)
+	}
+	m.Decomp[1] = []UopCount{{Ports: MakePortSet(0, 2), Count: 5}}
+	if err := m.CheckFingerprints(); err == nil {
+		t.Fatal("stale fingerprint not detected")
+	}
+	m.InvalidateFingerprints()
+	if err := m.CheckFingerprints(); err != nil {
+		t.Fatalf("invalidated mapping rejected: %v", err)
+	}
+}

@@ -72,6 +72,17 @@ func (p *Processor) Machine() (*machine.Machine, error) {
 	return machine.New(p.Config, p.Specs)
 }
 
+// BaselineMachine builds the processor's simulator with steady-state
+// period detection disabled: the brute-force cycle-by-cycle reference
+// that the measurement benchmark and the simulator property tests
+// compare against. Results are bit-identical to Machine(); only the
+// simulation cost differs.
+func (p *Processor) BaselineMachine() (*machine.Machine, error) {
+	cfg := p.Config
+	cfg.PeriodDetectBudget = machine.PeriodDetectDisabled
+	return machine.New(cfg, p.Specs)
+}
+
 // classBehaviour describes how one semantic instruction class behaves on
 // a processor.
 type classBehaviour struct {
