@@ -19,6 +19,7 @@ import (
 
 	"pmevo/internal/eval"
 	"pmevo/internal/export"
+	"pmevo/internal/measure"
 	"pmevo/internal/portmap"
 	"pmevo/internal/throughput"
 )
@@ -31,6 +32,8 @@ func main() {
 	population := flag.Int("population", 300, "evolutionary algorithm population size")
 	generations := flag.Int("generations", 40, "maximum generations")
 	formsPerClass := flag.Int("forms-per-class", 3, "instruction forms per semantic class (0: all forms)")
+	cacheDir := flag.String("cache-dir", "",
+		"directory for the persistent kernel-simulation cache; loaded before measurement, spilled on success")
 	seed := flag.Int64("seed", 1, "random seed")
 	verbose := flag.Bool("v", false, "print the mapping and a port usage table to stderr")
 	flag.Parse()
@@ -41,6 +44,18 @@ func main() {
 	scale.MaxFormsPerClass = *formsPerClass
 	scale.Seed = *seed
 
+	// Warm-start the kernel-simulation cache from a previous invocation:
+	// measurement dominates inference wall time, and the noiseless
+	// steady-state cycles of each kernel are a pure function of the
+	// machine and body, so reloading them changes timing but never the
+	// inferred mapping (a damaged or missing file just cold-starts). The
+	// spill also runs on error exits (fatalf), so a failure after
+	// measurement keeps the simulated kernels.
+	if *cacheDir != "" {
+		measure.WarmStartSimCache(*cacheDir, logf)
+		spillOnExit = func() { measure.SpillSimCache(*cacheDir, logf) }
+	}
+
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "[pmevo-infer] inferring port mapping for %s "+
 		"(population %d, max %d generations)\n", *procName, *population, *generations)
@@ -49,6 +64,14 @@ func main() {
 		fatalf("%v", err)
 	}
 	res := run.Result
+
+	if *cacheDir != "" {
+		measure.SpillSimCache(*cacheDir, logf)
+		spillOnExit = nil // spilled; later failures need not repeat it
+		st := measure.ProcessCacheStats()
+		logf("kernel cache: %d hits (%d disk-warm), %d misses",
+			st.SimHits, st.SimWarmHits, st.SimMisses)
+	}
 
 	fmt.Fprintf(os.Stderr, "[pmevo-infer] measured %d experiments (simulated benchmarking cost: %.1f h)\n",
 		run.Harness.Measurements(), run.Harness.SimulatedBenchmarkingCost()/3600)
@@ -128,7 +151,18 @@ func abs(x float64) float64 {
 	return x
 }
 
+// spillOnExit persists the kernel cache when fatalf aborts after
+// measurement already ran (deferred saves never run past os.Exit).
+var spillOnExit func()
+
+func logf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "[pmevo-infer] "+format+"\n", args...)
+}
+
 func fatalf(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, "pmevo-infer: "+format+"\n", args...)
+	if spillOnExit != nil {
+		spillOnExit()
+	}
 	os.Exit(1)
 }

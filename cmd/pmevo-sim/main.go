@@ -7,11 +7,17 @@
 //
 //	pmevo-sim -proc SKL add_r64_r64:2 imul_r64_r64:1
 //	pmevo-sim -mapping skl-mapping.json add_r64_r64:1 shl_r64_i8:3
+//	pmevo-sim -proc SKL -measured -cache-dir ~/.pmevo-cache imul_r64_r64
 //	pmevo-sim -proc SKL -list | grep mul
 //
 // Each argument is an instruction form name with an optional ":count"
 // suffix. With -proc, the processor's documented ground-truth mapping is
 // used; with -mapping, a JSON mapping produced by pmevo-infer.
+//
+// -measured additionally benchmarks the experiment on the processor's
+// cycle-level virtual machine (the §4.2 harness) next to the model
+// prediction; -cache-dir persists the harness's kernel-simulation cache
+// across invocations so repeated queries warm-start.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 
 	"pmevo/internal/engine"
 	"pmevo/internal/espec"
+	"pmevo/internal/measure"
 	"pmevo/internal/portmap"
 	"pmevo/internal/throughput"
 	"pmevo/internal/uarch"
@@ -31,6 +38,10 @@ func main() {
 	procName := flag.String("proc", "SKL", "processor whose ground-truth mapping to use: SKL|ZEN|A72")
 	mappingFile := flag.String("mapping", "", "JSON port mapping file (overrides -proc's ground truth)")
 	engineName := flag.String("engine", "bottleneck", "throughput engine: "+strings.Join(engine.Names(), "|"))
+	measured := flag.Bool("measured", false,
+		"also measure the experiment on the processor's virtual machine (§4.2 harness)")
+	cacheDir := flag.String("cache-dir", "",
+		"directory for the persistent kernel-simulation cache used by -measured")
 	list := flag.Bool("list", false, "list the available instruction form names and exit")
 	flag.Parse()
 
@@ -94,7 +105,42 @@ func main() {
 		fatalf("%v", err)
 	}
 	fmt.Printf("experiment: %s\n", resolver.Format(e))
-	fmt.Printf("throughput (%s engine): %.4g cycles per experiment instance\n\n", eng.Name(), tp)
+	fmt.Printf("throughput (%s engine): %.4g cycles per experiment instance\n", eng.Name(), tp)
+
+	if *measured {
+		// Benchmark on the virtual machine next to the model prediction
+		// (the experiment names are translated back into the processor's
+		// full form space; an inferred mapping may cover a subset).
+		logf := func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "[pmevo-sim] "+format+"\n", args...)
+		}
+		if *cacheDir != "" {
+			measure.WarmStartSimCache(*cacheDir, logf)
+		}
+		full := make(portmap.Experiment, len(e))
+		for i, t := range e {
+			f, ok := proc.ISA.FormByName(names[t.Inst])
+			if !ok {
+				fatalf("form %q not in processor %s", names[t.Inst], *procName)
+			}
+			full[i] = portmap.InstCount{Inst: f.ID, Count: t.Count}
+		}
+		h, err := measure.NewHarness(proc, measure.DefaultOptions())
+		if err != nil {
+			fatalf("%v", err)
+		}
+		mtp, err := h.Measure(full)
+		if err != nil {
+			fatalf("measure: %v", err)
+		}
+		fmt.Printf("throughput (virtual %s, median of %d noisy runs): %.4g cycles per experiment instance\n",
+			*procName, measure.DefaultOptions().Repetitions, mtp)
+		if *cacheDir != "" {
+			measure.SpillSimCache(*cacheDir, logf)
+		}
+	}
+
+	fmt.Printf("\n")
 	fmt.Print(analysis.Render(mapping.PortNames))
 }
 

@@ -1,0 +1,206 @@
+// Package cachestore persists cachetable.Table contents between
+// processes: a versioned, checksummed, bounded, atomically-written
+// on-disk spill format. It is the warm-start layer under the
+// measurement harness's kernel-simulation cache and the engine's
+// throughput memo — repeated inference on the same ISA reloads pure,
+// expensively derived values (noiseless steady-state cycles,
+// per-experiment bottleneck throughputs) instead of re-deriving them.
+//
+// The store is safe by construction:
+//
+//   - Load never fails into a result path. A missing, truncated,
+//     bit-flipped, version-mismatched, or foreign file yields an empty
+//     entry list (plus a diagnostic reason) — the consumer simply
+//     cold-starts. Cached values are pure functions of their keys, so a
+//     loaded entry can change timing but never results.
+//   - Files carry a format version, a consumer schema tag, and a
+//     caller-supplied content key (e.g. the fingerprint of the
+//     experiment set a memo was built against); any mismatch reads as
+//     empty. Consumers whose keys are already self-versioning (the
+//     kernel cache hashes the machine fingerprint into every key) use a
+//     fixed content key.
+//   - A whole-file checksum (seeded FNV-1a over header and payload)
+//     rejects truncation and corruption, including byte-order damage:
+//     the encoding is fixed little-endian, and a file written with the
+//     wrong byte order fails the checksum.
+//   - Save writes a temp file in the target directory and renames it
+//     into place, so a crashed or concurrent writer never leaves a
+//     partially-written file under the final name.
+//   - Size is bounded: Save truncates to MaxFileEntries and Load
+//     refuses counts beyond it, so a corrupt count cannot drive a huge
+//     allocation. Reloading into a bounded table keeps the existing
+//     overwrite-on-collision semantics — excess entries only cost
+//     recomputation.
+package cachestore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pmevo/internal/cachetable"
+)
+
+// Schema tags identify the consumer that wrote a file; a file is only
+// ever loaded by the schema that wrote it.
+const (
+	SchemaSimCache    uint32 = 1 // measure: kernel-simulation cache
+	SchemaFitnessMemo uint32 = 2 // engine: per-experiment throughput memo
+)
+
+// formatVersion is bumped on any incompatible layout change; old files
+// then load as empty (a cold start, never a misread).
+const formatVersion uint32 = 1
+
+// MaxFileEntries bounds both what Save writes and what Load accepts:
+// 2^20 entries × 16 bytes = 16 MiB, comfortably above every bounded
+// in-memory table (the kernel cache has 2^16 slots, the memo ceiling is
+// 2^20).
+const MaxFileEntries = 1 << 20
+
+// magic identifies a cachestore file. The trailing byte doubles as a
+// little-endian marker: the header words that follow are fixed
+// little-endian, and the checksum covers their encoded bytes.
+var magic = [8]byte{'P', 'M', 'E', 'V', 'O', 'C', 'S', 1}
+
+const headerSize = 8 + 4 + 4 + 8 + 8 // magic, version, schema, contentKey, count
+
+// Entry is one live key/value pair, shared with the in-memory table's
+// snapshot/load API so consumers spill and reload without conversion.
+type Entry = cachetable.Entry
+
+// checksum is a seeded 64-bit FNV-1a over the encoded bytes. It guards
+// integrity, not authenticity; its job is to make truncated, bit-flipped,
+// or byte-swapped files read as empty.
+func checksum(bs ...[]byte) uint64 {
+	const offset, prime = 0xcbf29ce484222325, 0x100000001b3
+	h := uint64(offset)
+	for _, b := range bs {
+		for _, c := range b {
+			h ^= uint64(c)
+			h *= prime
+		}
+	}
+	return h
+}
+
+// encode renders the file image: header, entries, trailing checksum.
+func encode(schema uint32, contentKey uint64, entries []Entry) []byte {
+	buf := make([]byte, 0, headerSize+len(entries)*16+8)
+	buf = append(buf, magic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, formatVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, schema)
+	buf = binary.LittleEndian.AppendUint64(buf, contentKey)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(entries)))
+	for _, e := range entries {
+		buf = binary.LittleEndian.AppendUint64(buf, e.Key)
+		buf = binary.LittleEndian.AppendUint64(buf, e.Val)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, checksum(buf))
+	return buf
+}
+
+// Save atomically writes the entries for (schema, contentKey) to path,
+// creating parent directories as needed. Entry lists beyond
+// MaxFileEntries are truncated — the store is a bounded cache, and a
+// dropped entry only costs recomputation. The write goes to a temp file
+// in the destination directory followed by a rename, so readers and
+// crashed writers never observe a partial file.
+func Save(path string, schema uint32, contentKey uint64, entries []Entry) error {
+	if len(entries) > MaxFileEntries {
+		entries = entries[:MaxFileEntries]
+	}
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("cachestore: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".cachestore-*.tmp")
+	if err != nil {
+		return fmt.Errorf("cachestore: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if _, err := tmp.Write(encode(schema, contentKey, entries)); err != nil {
+		tmp.Close()
+		return fmt.Errorf("cachestore: write %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("cachestore: close %s: %w", tmp.Name(), err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("cachestore: %w", err)
+	}
+	return nil
+}
+
+// Load reads the entries stored at path for (schema, contentKey). It
+// never returns an error: any problem — missing file, truncation,
+// corruption, format/schema/content mismatch — yields a nil entry list
+// and a non-empty diagnostic reason, and the consumer cold-starts. An
+// empty reason means the file was read successfully (possibly with zero
+// entries).
+func Load(path string, schema uint32, contentKey uint64) (entries []Entry, reason string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, "no cache file"
+		}
+		return nil, fmt.Sprintf("unreadable cache file: %v", err)
+	}
+	if len(data) < headerSize+8 {
+		return nil, "truncated cache file (short header)"
+	}
+	if [8]byte(data[:8]) != magic {
+		return nil, "not a cachestore file (bad magic)"
+	}
+	if v := binary.LittleEndian.Uint32(data[8:12]); v != formatVersion {
+		return nil, fmt.Sprintf("format version %d, want %d", v, formatVersion)
+	}
+	if s := binary.LittleEndian.Uint32(data[12:16]); s != schema {
+		return nil, fmt.Sprintf("schema %d, want %d", s, schema)
+	}
+	if ck := binary.LittleEndian.Uint64(data[16:24]); ck != contentKey {
+		return nil, "content key mismatch (cache built against different inputs)"
+	}
+	count := binary.LittleEndian.Uint64(data[24:32])
+	if count > MaxFileEntries {
+		return nil, fmt.Sprintf("entry count %d exceeds bound %d", count, MaxFileEntries)
+	}
+	want := headerSize + int(count)*16 + 8
+	if len(data) != want {
+		return nil, fmt.Sprintf("truncated cache file (%d bytes, want %d)", len(data), want)
+	}
+	body, sum := data[:len(data)-8], binary.LittleEndian.Uint64(data[len(data)-8:])
+	if checksum(body) != sum {
+		return nil, "checksum mismatch (corrupt cache file)"
+	}
+	entries = make([]Entry, 0, count)
+	for i := 0; i < int(count); i++ {
+		off := headerSize + i*16
+		e := Entry{
+			Key: binary.LittleEndian.Uint64(data[off : off+8]),
+			Val: binary.LittleEndian.Uint64(data[off+8 : off+16]),
+		}
+		if e.Key == 0 {
+			continue // never stored by Save; skip rather than poison a table
+		}
+		entries = append(entries, e)
+	}
+	return entries, ""
+}
+
+// SaveTable spills a table's live entries. The snapshot must not race
+// with writers (see cachetable.Snapshot); consumers call this at exit
+// or between benchmark phases.
+func SaveTable(path string, schema uint32, contentKey uint64, t *cachetable.Table) error {
+	return Save(path, schema, contentKey, t.Snapshot())
+}
+
+// LoadTable reloads a spilled file into a table, returning the number
+// of entries stored and the empty-load diagnostic (see Load). Entries
+// land with overwrite-on-collision semantics, so the table's bound
+// holds regardless of the file's size.
+func LoadTable(path string, schema uint32, contentKey uint64, t *cachetable.Table) (int, string) {
+	entries, reason := Load(path, schema, contentKey)
+	return t.LoadEntries(entries), reason
+}

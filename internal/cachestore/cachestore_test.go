@@ -1,0 +1,193 @@
+package cachestore
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pmevo/internal/cachetable"
+)
+
+func sampleEntries(n int) []Entry {
+	out := make([]Entry, n)
+	for i := range out {
+		key := uint64(i+1) * 0x9e3779b97f4a7c15
+		if key == 0 {
+			key = 1
+		}
+		out[i] = Entry{Key: key, Val: uint64(i) * 3}
+	}
+	return out
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sub", "cache.pmc")
+	want := sampleEntries(1000)
+	if err := Save(path, SchemaSimCache, 0xfeed, want); err != nil {
+		t.Fatal(err)
+	}
+	got, reason := Load(path, SchemaSimCache, 0xfeed)
+	if reason != "" {
+		t.Fatalf("load reason = %q, want success", reason)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("loaded %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSaveOverwritesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.pmc")
+	if err := Save(path, SchemaSimCache, 1, sampleEntries(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(path, SchemaSimCache, 1, sampleEntries(3)); err != nil {
+		t.Fatal(err)
+	}
+	got, reason := Load(path, SchemaSimCache, 1)
+	if reason != "" || len(got) != 3 {
+		t.Fatalf("after overwrite: %d entries, reason %q", len(got), reason)
+	}
+	// The temp file must not linger.
+	files, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 {
+		t.Fatalf("directory holds %d files, want only the cache file", len(files))
+	}
+}
+
+func TestSaveBoundsEntries(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.pmc")
+	if err := Save(path, SchemaSimCache, 1, sampleEntries(MaxFileEntries+5)); err != nil {
+		t.Fatal(err)
+	}
+	got, reason := Load(path, SchemaSimCache, 1)
+	if reason != "" {
+		t.Fatalf("load reason = %q", reason)
+	}
+	if len(got) != MaxFileEntries {
+		t.Fatalf("loaded %d entries, want truncation to %d", len(got), MaxFileEntries)
+	}
+}
+
+// TestLoadDegradesToEmpty is the satellite robustness table: every way a
+// cache file can be missing, damaged, or foreign must load as empty with
+// a diagnostic — never as an error and never as entries.
+func TestLoadDegradesToEmpty(t *testing.T) {
+	valid := encode(SchemaSimCache, 0xabc, sampleEntries(16))
+	bigEndian := func() []byte {
+		// The same logical file written with the wrong byte order: every
+		// multi-byte word byte-swapped, checksum recomputed over the
+		// swapped image the way a wrong-endianness writer would.
+		b := append([]byte(nil), valid[:len(valid)-8]...)
+		swap := func(off, n int) {
+			for i, j := off, off+n-1; i < j; i, j = i+1, j-1 {
+				b[i], b[j] = b[j], b[i]
+			}
+		}
+		swap(8, 4)   // version
+		swap(12, 4)  // schema
+		swap(16, 8)  // content key
+		swap(24, 8)  // count
+		for off := headerSize; off < len(b); off += 8 {
+			swap(off, 8)
+		}
+		return binary.BigEndian.AppendUint64(b, checksum(b))
+	}()
+
+	cases := []struct {
+		name  string
+		write func(path string)
+	}{
+		{"missing file", func(path string) {}},
+		{"empty file", func(path string) { os.WriteFile(path, nil, 0o644) }},
+		{"short header", func(path string) { os.WriteFile(path, valid[:headerSize-3], 0o644) }},
+		{"truncated payload", func(path string) { os.WriteFile(path, valid[:len(valid)-20], 0o644) }},
+		{"trailing garbage", func(path string) { os.WriteFile(path, append(append([]byte(nil), valid...), 1, 2, 3), 0o644) }},
+		{"bad magic", func(path string) {
+			b := append([]byte(nil), valid...)
+			b[0] ^= 0xff
+			os.WriteFile(path, b, 0o644)
+		}},
+		{"bit flip in payload", func(path string) {
+			b := append([]byte(nil), valid...)
+			b[headerSize+7] ^= 0x10
+			os.WriteFile(path, b, 0o644)
+		}},
+		{"bit flip in count", func(path string) {
+			b := append([]byte(nil), valid...)
+			b[24] ^= 0x01
+			os.WriteFile(path, b, 0o644)
+		}},
+		{"wrong format version", func(path string) {
+			b := append([]byte(nil), valid...)
+			binary.LittleEndian.PutUint32(b[8:12], formatVersion+1)
+			// A future writer would checksum its own image consistently.
+			binary.LittleEndian.PutUint64(b[len(b)-8:], checksum(b[:len(b)-8]))
+			os.WriteFile(path, b, 0o644)
+		}},
+		{"wrong endianness", func(path string) { os.WriteFile(path, bigEndian, 0o644) }},
+		{"huge entry count", func(path string) {
+			b := append([]byte(nil), valid...)
+			binary.LittleEndian.PutUint64(b[24:32], MaxFileEntries+1)
+			binary.LittleEndian.PutUint64(b[len(b)-8:], checksum(b[:len(b)-8]))
+			os.WriteFile(path, b, 0o644)
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "cache.pmc")
+			c.write(path)
+			entries, reason := Load(path, SchemaSimCache, 0xabc)
+			if len(entries) != 0 {
+				t.Fatalf("loaded %d entries from damaged file", len(entries))
+			}
+			if reason == "" {
+				t.Fatal("damaged file loaded without a diagnostic reason")
+			}
+		})
+	}
+}
+
+// TestLoadRejectsMismatchedIdentity: a structurally valid file written
+// by another consumer or against other inputs must read as empty.
+func TestLoadRejectsMismatchedIdentity(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.pmc")
+	if err := Save(path, SchemaSimCache, 0xabc, sampleEntries(4)); err != nil {
+		t.Fatal(err)
+	}
+	if entries, reason := Load(path, SchemaFitnessMemo, 0xabc); len(entries) != 0 || reason == "" {
+		t.Fatalf("wrong schema: %d entries, reason %q", len(entries), reason)
+	}
+	if entries, reason := Load(path, SchemaSimCache, 0xdef); len(entries) != 0 || reason == "" {
+		t.Fatalf("wrong content key: %d entries, reason %q", len(entries), reason)
+	}
+}
+
+func TestTableRoundTrip(t *testing.T) {
+	src := cachetable.New(1 << 10)
+	for _, e := range sampleEntries(200) {
+		src.Put(e.Key, e.Val)
+	}
+	path := filepath.Join(t.TempDir(), "cache.pmc")
+	if err := SaveTable(path, SchemaFitnessMemo, 7, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := cachetable.New(1 << 10)
+	n, reason := LoadTable(path, SchemaFitnessMemo, 7, dst)
+	if reason != "" || n == 0 {
+		t.Fatalf("LoadTable = %d, %q", n, reason)
+	}
+	for _, e := range src.Snapshot() {
+		if v, ok := dst.Get(e.Key); !ok || v != e.Val {
+			t.Fatalf("reloaded table misses {%#x, %d}", e.Key, e.Val)
+		}
+	}
+}

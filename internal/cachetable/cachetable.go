@@ -30,10 +30,28 @@ type entry struct {
 	val atomic.Uint64
 }
 
+// MinEntries and MaxEntries bound the slot count of every table. The
+// floor keeps degenerate requests (0, negative) from building a 1-slot
+// table where every key collides with every other; the ceiling keeps a
+// miscomputed request (or the old round-up loop's overflow for inputs
+// near MaxInt) from attempting a multi-gigabyte — or, after signed
+// overflow, negative — allocation. 2^24 slots is 256 MiB, far above any
+// configured consumer (the engine memo caps itself at 2^20).
+const (
+	MinEntries = 1 << 6
+	MaxEntries = 1 << 24
+)
+
 // New creates a table with at least `entries` slots, rounded up to a
-// power of two.
+// power of two and clamped to [MinEntries, MaxEntries].
 func New(entries int) *Table {
-	size := 1
+	if entries < MinEntries {
+		entries = MinEntries
+	}
+	if entries > MaxEntries {
+		entries = MaxEntries
+	}
+	size := MinEntries
 	for size < entries {
 		size <<= 1
 	}
@@ -70,4 +88,58 @@ func (t *Table) Clear() {
 		t.entries[i].tag.Store(0)
 		t.entries[i].val.Store(0)
 	}
+}
+
+// Entry is one live (key, value) pair, the unit of the snapshot/load API
+// that internal/cachestore persists to disk.
+type Entry struct {
+	Key uint64
+	Val uint64
+}
+
+// Snapshot returns every live entry of the table. Unlike Get, Snapshot
+// reconstructs keys from the XOR tag, so the tag trick cannot flag a
+// torn read — a Put racing a slot being snapshotted could yield an
+// entry whose reconstructed key is neither the old nor the new one.
+// Callers must therefore only snapshot at quiesce points (save-on-exit,
+// between benchmark phases), never concurrently with writers. As
+// defense in depth — not a concurrency guarantee — slots whose tag
+// changes mid-read or whose reconstructed key does not map back to the
+// slot it was read from (every genuine entry's key does; a fabricated
+// tag^val almost surely does not) are dropped.
+func (t *Table) Snapshot() []Entry {
+	var out []Entry
+	for i := range t.entries {
+		e := &t.entries[i]
+		tag := e.tag.Load()
+		val := e.val.Load()
+		if tag != e.tag.Load() {
+			continue // slot written mid-read; skip rather than persist garbage
+		}
+		key := tag ^ val
+		if key == 0 {
+			continue // empty slot (valid keys are never 0)
+		}
+		if key&t.mask != uint64(i) {
+			continue // torn or corrupt slot: a real entry lives where its key maps
+		}
+		out = append(out, Entry{Key: key, Val: val})
+	}
+	return out
+}
+
+// LoadEntries stores every entry into the table with the usual
+// overwrite-on-collision semantics and returns the number stored.
+// Entries with key 0 are skipped (an empty slot would read as a hit for
+// key 0, so valid tables never contain it).
+func (t *Table) LoadEntries(entries []Entry) int {
+	n := 0
+	for _, e := range entries {
+		if e.Key == 0 {
+			continue
+		}
+		t.Put(e.Key, e.Val)
+		n++
+	}
+	return n
 }

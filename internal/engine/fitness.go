@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"pmevo/internal/cachetable"
 	"pmevo/internal/exp"
 	"pmevo/internal/portmap"
 	"pmevo/internal/throughput"
@@ -39,6 +40,16 @@ type ServiceOptions struct {
 	// table only recomputes more. The memo only accelerates the built-in
 	// bottleneck fast path.
 	MemoEntries int
+	// MemoWarm seeds the memo with entries spilled by a previous run
+	// (Service.MemoSnapshot via internal/cachestore), warm-starting
+	// evaluation across processes. Keys are content hashes (experiment
+	// identity × decomposition fingerprints), so entries from a
+	// different experiment set never hit — the persistence layer
+	// additionally guards the file with ExpSetFingerprint. Warm entries
+	// are the exact floats a fresh evaluation would produce, so results
+	// are bit-identical to a cold start; hits on them are counted in
+	// CacheStats.MemoWarmHits. Ignored when the memo is disabled.
+	MemoWarm []cachetable.Entry
 }
 
 // CacheStats is a snapshot of a Service's evaluation counters. The
@@ -62,6 +73,14 @@ type CacheStats struct {
 	// disabled); MemoResizes counts adaptive growth steps.
 	MemoEntries int64
 	MemoResizes int64
+	// MemoWarmEntries is the number of disk-warm entries the memo was
+	// seeded with (ServiceOptions.MemoWarm); MemoWarmHits is the subset
+	// of MemoHits served on warm-seeded keys. Attribution is by key:
+	// after adaptive growth discards the seeded table, a re-computed
+	// entry under a warm key still counts, so treat warm hits as an
+	// attribution of keys, not of stored bytes.
+	MemoWarmEntries int64
+	MemoWarmHits    int64
 }
 
 // Service evaluates candidate port mappings against a fixed measured
@@ -118,6 +137,12 @@ type Service struct {
 	memo     atomic.Pointer[memoTable]
 	memoAuto bool
 	memoMax  int
+	// warmKeys is the read-only set of memo keys seeded from
+	// ServiceOptions.MemoWarm, for warm-hit attribution; nil when no
+	// warm start was requested (the common case — the hit path then
+	// pays only a nil check).
+	warmKeys    map[uint64]struct{}
+	warmEntries int
 
 	workerSc []evalScratch // per-worker state for EvaluateAll
 	pool     sync.Pool     // *evalScratch for Evaluate
@@ -126,6 +151,7 @@ type Service struct {
 	deltaEvals   atomic.Int64
 	memoHits     atomic.Int64
 	memoMisses   atomic.Int64
+	memoWarmHits atomic.Int64
 	deltaSkipped atomic.Int64
 	memoResizes  atomic.Int64
 	// missesAtGrow remembers the total miss count at the last growth
@@ -162,6 +188,7 @@ type evalScratch struct {
 
 	hits int64 // memo counters, flushed per candidate
 	miss int64
+	warm int64 // hits on disk-warm keys (subset of hits)
 }
 
 // ensure sizes the scratch for the instruction count and invalidates the
@@ -288,14 +315,42 @@ func NewService(set *exp.Set, opts ServiceOptions) (*Service, error) {
 			entries = autoMemoFloor
 			s.memoAuto = true
 			s.memoMax = autoMemoCeil
+			// A warm start should not begin with the seeded entries
+			// evicting each other in a floor-sized table: open with
+			// room for them (adaptive growth takes over from there).
+			for entries < autoMemoCeil && entries < 2*len(opts.MemoWarm) {
+				entries *= autoMemoGrowFactor
+			}
 		}
-		s.memo.Store(newMemoTable(entries))
+		t := newMemoTable(entries)
+		if len(opts.MemoWarm) > 0 {
+			s.warmEntries = t.t.LoadEntries(opts.MemoWarm)
+			s.warmKeys = make(map[uint64]struct{}, len(opts.MemoWarm))
+			for _, e := range opts.MemoWarm {
+				if e.Key != 0 {
+					s.warmKeys[e.Key] = struct{}{}
+				}
+			}
+		}
+		s.memo.Store(t)
 		s.expSalt = make([]uint64, len(s.meas))
 		for i := range s.expSalt {
 			s.expSalt[i] = portmap.CombineFingerprints(0xa0761d6478bd642f, uint64(i)+1)
 		}
 	}
 	return s, nil
+}
+
+// MemoSnapshot returns the memo's live entries for persistence
+// (engine.SaveMemo → internal/cachestore). Call at a quiesce point —
+// after a run completes — never concurrently with evaluation (see
+// cachetable.Snapshot). Returns nil when the memo is disabled.
+func (s *Service) MemoSnapshot() []cachetable.Entry {
+	t := s.memo.Load()
+	if t == nil {
+		return nil
+	}
+	return t.t.Snapshot()
 }
 
 // maybeGrowMemo is the adaptive-sizing decision point, called after each
@@ -353,6 +408,8 @@ func (s *Service) Stats() CacheStats {
 		MemoMisses:              s.memoMisses.Load(),
 		DeltaExperimentsSkipped: s.deltaSkipped.Load(),
 		MemoResizes:             s.memoResizes.Load(),
+		MemoWarmEntries:         int64(s.warmEntries),
+		MemoWarmHits:            s.memoWarmHits.Load(),
 	}
 	if t := s.memo.Load(); t != nil {
 		st.MemoEntries = int64(t.size())
@@ -395,6 +452,11 @@ func (s *Service) predictOne(sc *evalScratch, t *memoTable, m *portmap.Mapping, 
 	key := s.expKey(m, i)
 	if v, ok := t.get(key); ok {
 		sc.hits++
+		if s.warmKeys != nil {
+			if _, warm := s.warmKeys[key]; warm {
+				sc.warm++
+			}
+		}
 		return v
 	}
 	sc.miss++
@@ -449,7 +511,10 @@ func (s *Service) flushMemoCounters(sc *evalScratch) {
 	if sc.miss != 0 {
 		s.memoMisses.Add(sc.miss)
 	}
-	sc.hits, sc.miss = 0, 0
+	if sc.warm != 0 {
+		s.memoWarmHits.Add(sc.warm)
+	}
+	sc.hits, sc.miss, sc.warm = 0, 0, 0
 }
 
 // davgGeneric computes Davg(m) through an arbitrary Predictor,

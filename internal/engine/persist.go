@@ -1,0 +1,68 @@
+package engine
+
+import (
+	"math"
+	"path/filepath"
+
+	"pmevo/internal/cachestore"
+	"pmevo/internal/cachetable"
+	"pmevo/internal/exp"
+	"pmevo/internal/portmap"
+)
+
+// Persistence of the throughput memo (the engine side of the
+// warm-start seam; the measurement side is measure.Load/SaveSimCache).
+//
+// A memo entry maps (experiment identity, decomposition fingerprints of
+// its instructions) → bottleneck throughput; every component is a pure
+// content hash, deterministic across processes. The one piece of
+// context a key does NOT encode is the experiment set itself: expSalt
+// is indexed by experiment position, so a spilled memo is only valid
+// against the exact set it was built from. ExpSetFingerprint hashes the
+// set and gates the file as cachestore's content key — a memo spilled
+// against different measurements loads as empty and the run
+// cold-starts. Within a matching set, warm entries are the exact floats
+// a fresh evaluation would produce, so a warm-started run is
+// bit-identical to a cold one (only timing changes).
+
+// ExpSetFingerprint returns a 64-bit content hash of a measured
+// experiment set: the instruction count, every experiment's terms in
+// order, and the exact bits of every measured throughput. It is the
+// content key under which a Service's memo may be spilled and reloaded.
+func ExpSetFingerprint(set *exp.Set) uint64 {
+	h := portmap.CombineFingerprints(0x706d65766f736574, uint64(set.NumInsts)) // "pmevoset"
+	for _, v := range set.Individual {
+		h = portmap.CombineFingerprints(h, math.Float64bits(v))
+	}
+	for _, m := range set.Measurements {
+		h = portmap.CombineFingerprints(h, uint64(len(m.Exp)))
+		for _, t := range m.Exp {
+			h = portmap.CombineFingerprints(h, uint64(t.Inst))
+			h = portmap.CombineFingerprints(h, uint64(t.Count))
+		}
+		h = portmap.CombineFingerprints(h, math.Float64bits(m.Throughput))
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// MemoPath returns the conventional throughput-memo spill file inside a
+// tool's -cache-dir.
+func MemoPath(dir string) string { return filepath.Join(dir, "fitness-memo.pmc") }
+
+// LoadMemo reads the memo entries spilled at path for the given
+// experiment set, for ServiceOptions.MemoWarm (or evo.Options.MemoWarm).
+// It never fails into a result path: a missing, damaged, or
+// foreign-set file yields nil entries and a diagnostic reason, and the
+// run cold-starts.
+func LoadMemo(path string, set *exp.Set) (entries []cachetable.Entry, reason string) {
+	return cachestore.Load(path, cachestore.SchemaFitnessMemo, ExpSetFingerprint(set))
+}
+
+// SaveMemo atomically spills memo entries (Service.MemoSnapshot) taken
+// against the given experiment set to path.
+func SaveMemo(path string, set *exp.Set, entries []cachetable.Entry) error {
+	return cachestore.Save(path, cachestore.SchemaFitnessMemo, ExpSetFingerprint(set), entries)
+}

@@ -1,0 +1,149 @@
+package engine
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"pmevo/internal/exp"
+	"pmevo/internal/portmap"
+)
+
+// TestMemoWarmStartBitIdentical is the engine half of the persistence
+// golden test: a service warm-started from another service's memo
+// snapshot must produce bit-identical fitness for every candidate,
+// serve the repeats from disk-warm entries (counted as MemoWarmHits),
+// and a snapshot round-tripped through the on-disk store must behave
+// identically to the in-memory one.
+func TestMemoWarmStartBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	_, set := measuredSet(t, rng, 10, 4)
+	cold, err := NewService(set, ServiceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ms []*portmap.Mapping
+	for i := 0; i < 12; i++ {
+		ms = append(ms, portmap.Random(rng, portmap.RandomOptions{NumInsts: 10, NumPorts: 4, MaxUops: 3}))
+	}
+	want := make([]Fitness, len(ms))
+	if err := cold.EvaluateAll(ms, want); err != nil {
+		t.Fatal(err)
+	}
+	snap := cold.MemoSnapshot()
+	if len(snap) == 0 {
+		t.Fatal("cold service produced an empty memo snapshot")
+	}
+	if cold.Stats().MemoWarmEntries != 0 || cold.Stats().MemoWarmHits != 0 {
+		t.Fatalf("cold service reports warm traffic: %+v", cold.Stats())
+	}
+
+	// Round-trip the snapshot through the on-disk store.
+	path := filepath.Join(t.TempDir(), "fitness-memo.pmc")
+	if err := SaveMemo(path, set, snap); err != nil {
+		t.Fatal(err)
+	}
+	loaded, reason := LoadMemo(path, set)
+	if reason != "" || len(loaded) != len(snap) {
+		t.Fatalf("LoadMemo: %d of %d entries, reason %q", len(loaded), len(snap), reason)
+	}
+
+	warm, err := NewService(set, ServiceOptions{MemoWarm: loaded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]Fitness, len(ms))
+	if err := warm.EvaluateAll(ms, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ms {
+		if got[i] != want[i] {
+			t.Fatalf("candidate %d: warm %+v != cold %+v", i, got[i], want[i])
+		}
+	}
+	st := warm.Stats()
+	if st.MemoWarmEntries == 0 {
+		t.Error("warm service reports no seeded entries")
+	}
+	if st.MemoWarmHits == 0 {
+		t.Error("warm service served no disk-warm hits on a repeated batch")
+	}
+	if st.MemoWarmHits > st.MemoHits {
+		t.Errorf("warm hits %d exceed total hits %d", st.MemoWarmHits, st.MemoHits)
+	}
+	// The direct-mapped table overwrites colliding keys, so a snapshot
+	// is not a complete key set — but a warm start must still eliminate
+	// the bulk of the cold run's misses.
+	if cs := cold.Stats(); st.MemoMisses*2 >= cs.MemoMisses {
+		t.Errorf("warm misses %d not well below cold misses %d", st.MemoMisses, cs.MemoMisses)
+	}
+}
+
+// TestLoadMemoRejectsForeignSet: a memo spilled against one experiment
+// set must load as empty against any other (expSalt keys are positional,
+// so cross-set reuse would be unsound even when it would mostly miss).
+func TestLoadMemoRejectsForeignSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	_, setA := measuredSet(t, rng, 8, 4)
+	_, setB := measuredSet(t, rng, 8, 4)
+	if ExpSetFingerprint(setA) == ExpSetFingerprint(setB) {
+		t.Fatal("distinct sets share a fingerprint")
+	}
+	svc, err := NewService(setA, ServiceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := portmap.Random(rng, portmap.RandomOptions{NumInsts: 8, NumPorts: 4, MaxUops: 2})
+	if _, err := svc.Evaluate(m); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "fitness-memo.pmc")
+	if err := SaveMemo(path, setA, svc.MemoSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if entries, reason := LoadMemo(path, setB); len(entries) != 0 || reason == "" {
+		t.Fatalf("foreign-set load returned %d entries (reason %q)", len(entries), reason)
+	}
+	if entries, reason := LoadMemo(path, setA); len(entries) == 0 || reason != "" {
+		t.Fatalf("same-set load failed: %d entries, reason %q", len(entries), reason)
+	}
+}
+
+// TestExpSetFingerprintSensitivity: the content key must change when any
+// component of the set changes — instruction count, terms, or the exact
+// bits of a measured throughput.
+func TestExpSetFingerprintSensitivity(t *testing.T) {
+	base := &exp.Set{
+		NumInsts:   2,
+		Individual: []float64{1, 2},
+		Measurements: []exp.Measurement{
+			{Exp: portmap.Experiment{{Inst: 0, Count: 1}}, Throughput: 1},
+			{Exp: portmap.Experiment{{Inst: 1, Count: 2}}, Throughput: 2},
+		},
+	}
+	fp := ExpSetFingerprint(base)
+	mutations := []func(*exp.Set){
+		func(s *exp.Set) { s.NumInsts = 3 },
+		func(s *exp.Set) { s.Individual[1] = 2.5 },
+		func(s *exp.Set) { s.Measurements[0].Throughput = 1.0000000001 },
+		func(s *exp.Set) { s.Measurements[1].Exp[0].Count = 3 },
+		func(s *exp.Set) { s.Measurements[1].Exp[0].Inst = 0 },
+		func(s *exp.Set) { s.Measurements = s.Measurements[:1] },
+	}
+	for i, mutate := range mutations {
+		clone := &exp.Set{
+			NumInsts:   base.NumInsts,
+			Individual: append([]float64(nil), base.Individual...),
+		}
+		for _, m := range base.Measurements {
+			clone.Measurements = append(clone.Measurements, exp.Measurement{
+				Exp:        append(portmap.Experiment(nil), m.Exp...),
+				Throughput: m.Throughput,
+			})
+		}
+		mutate(clone)
+		if ExpSetFingerprint(clone) == fp {
+			t.Errorf("mutation %d did not change the set fingerprint", i)
+		}
+	}
+}

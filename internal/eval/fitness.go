@@ -7,6 +7,8 @@ import (
 	"strings"
 	"time"
 
+	"pmevo/internal/cachetable"
+	"pmevo/internal/engine"
 	"pmevo/internal/evo"
 	"pmevo/internal/exp"
 	"pmevo/internal/portmap"
@@ -19,12 +21,26 @@ import (
 // engine's memoized + incremental evaluation layer on and off. The
 // results are bit-identical by construction (pinned in internal/evo);
 // only the cost differs.
+//
+// With a cache directory (pmevo-bench -cache-dir), the cached run
+// additionally warm-starts its throughput memo from the spill of the
+// previous invocation against the same experiment set (engine.LoadMemo)
+// and spills its own memo on completion; WarmEntries and the run's
+// MemoWarmHits report the disk-warm traffic. The uncached run never
+// touches the memo, so the bit-equality check also pins warm results
+// identical to cold ones.
 type FitnessBenchResult struct {
 	NumInsts    int
 	NumPorts    int
 	Experiments int
 	Population  int
 	Generations int
+
+	// WarmStart records whether a cache directory was used; WarmEntries
+	// is the number of memo entries loaded from it (0 on the first,
+	// cold invocation).
+	WarmStart   bool
+	WarmEntries int
 
 	// Cached is the production configuration, Uncached the same run
 	// with DisableCache.
@@ -39,6 +55,7 @@ type FitnessBenchRun struct {
 	EvalsPerSec      float64
 	MemoHits         int64
 	MemoMisses       int64
+	MemoWarmHits     int64
 	MemoEntries      int64
 	MemoResizes      int64
 	DeltaEvals       int64
@@ -60,8 +77,11 @@ func (mm modelMeasurer) Measure(e portmap.Experiment) (float64, error) {
 }
 
 // RunFitnessBench measures the population fitness loop at the given
-// scale: evo.Run on a hidden random machine, cached vs uncached.
-func RunFitnessBench(scale Scale) (*FitnessBenchResult, error) {
+// scale: evo.Run on a hidden random machine, cached vs uncached. A
+// non-empty cacheDir warm-starts the cached run's throughput memo from
+// the directory's spill file and re-spills the memo on completion; the
+// first invocation cold-starts (no file) and seeds the second.
+func RunFitnessBench(scale Scale, cacheDir string) (*FitnessBenchResult, error) {
 	rng := rand.New(rand.NewSource(scale.Seed + 4))
 	hidden := portmap.Random(rng, portmap.RandomOptions{
 		NumInsts: fitnessBenchInsts, NumPorts: fitnessBenchPorts, MaxUops: 2,
@@ -77,7 +97,13 @@ func RunFitnessBench(scale Scale) (*FitnessBenchResult, error) {
 		Population:  scale.Population,
 		Generations: scale.MaxGenerations,
 	}
-	run := func(disable bool) (FitnessBenchRun, error) {
+	var warm []cachetable.Entry
+	if cacheDir != "" {
+		res.WarmStart = true
+		warm, _ = engine.LoadMemo(engine.MemoPath(cacheDir), set)
+		res.WarmEntries = len(warm)
+	}
+	run := func(disable bool) (FitnessBenchRun, []cachetable.Entry, error) {
 		opts := evo.Options{
 			PopulationSize:  scale.Population,
 			MaxGenerations:  scale.MaxGenerations,
@@ -87,10 +113,14 @@ func RunFitnessBench(scale Scale) (*FitnessBenchResult, error) {
 			Seed:            scale.Seed,
 			DisableCache:    disable,
 		}
+		if !disable {
+			opts.MemoWarm = warm
+			opts.SnapshotMemo = cacheDir != ""
+		}
 		start := time.Now()
 		r, err := evo.Run(set, opts)
 		if err != nil {
-			return FitnessBenchRun{}, err
+			return FitnessBenchRun{}, nil, err
 		}
 		secs := time.Since(start).Seconds()
 		out := FitnessBenchRun{
@@ -98,6 +128,7 @@ func RunFitnessBench(scale Scale) (*FitnessBenchResult, error) {
 			Evaluations:      r.FitnessEvaluations,
 			MemoHits:         r.CacheStats.MemoHits,
 			MemoMisses:       r.CacheStats.MemoMisses,
+			MemoWarmHits:     r.CacheStats.MemoWarmHits,
 			MemoEntries:      r.CacheStats.MemoEntries,
 			MemoResizes:      r.CacheStats.MemoResizes,
 			DeltaEvals:       r.CacheStats.DeltaEvaluations,
@@ -107,17 +138,23 @@ func RunFitnessBench(scale Scale) (*FitnessBenchResult, error) {
 		if secs > 0 {
 			out.EvalsPerSec = float64(r.FitnessEvaluations) / secs
 		}
-		return out, nil
+		return out, r.MemoSnapshot, nil
 	}
-	if res.Cached, err = run(false); err != nil {
+	var snapshot []cachetable.Entry
+	if res.Cached, snapshot, err = run(false); err != nil {
 		return nil, err
 	}
-	if res.Uncached, err = run(true); err != nil {
+	if res.Uncached, _, err = run(true); err != nil {
 		return nil, err
 	}
 	if res.Cached.BestError != res.Uncached.BestError {
 		return nil, fmt.Errorf("fitness bench: cached Davg %v != uncached %v (caching must be bit-exact)",
 			res.Cached.BestError, res.Uncached.BestError)
+	}
+	if cacheDir != "" && len(snapshot) > 0 {
+		if err := engine.SaveMemo(engine.MemoPath(cacheDir), set, snapshot); err != nil {
+			return nil, fmt.Errorf("fitness bench: spill memo: %w", err)
+		}
 	}
 	return res, nil
 }
@@ -133,12 +170,16 @@ func (r *FitnessBenchResult) Speedup() float64 {
 // Render prints the benchmark in a human-readable form.
 func (r *FitnessBenchResult) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Fitness-evaluation throughput (hidden %d-inst/%d-port machine, %d experiments, p=%d, %d generations)\n\n",
+	fmt.Fprintf(&b, "Fitness-evaluation throughput (hidden %d-inst/%d-port machine, %d experiments, p=%d, %d generations)\n",
 		r.NumInsts, r.NumPorts, r.Experiments, r.Population, r.Generations)
+	if r.WarmStart {
+		fmt.Fprintf(&b, "cached run warm-started from persistent memo (-cache-dir): %d entries loaded\n", r.WarmEntries)
+	}
+	b.WriteString("\n")
 	row := func(name string, run FitnessBenchRun) {
-		fmt.Fprintf(&b, "%-9s %9.3fs  %8d evals  %10.0f evals/s  hits=%d misses=%d delta=%d skipped=%d\n",
+		fmt.Fprintf(&b, "%-9s %9.3fs  %8d evals  %10.0f evals/s  hits=%d misses=%d warm=%d delta=%d skipped=%d\n",
 			name, run.Seconds, run.Evaluations, run.EvalsPerSec,
-			run.MemoHits, run.MemoMisses, run.DeltaEvals, run.DeltaExpsSkipped)
+			run.MemoHits, run.MemoMisses, run.MemoWarmHits, run.DeltaEvals, run.DeltaExpsSkipped)
 	}
 	row("cached", r.Cached)
 	row("uncached", r.Uncached)
@@ -148,16 +189,16 @@ func (r *FitnessBenchResult) Render() string {
 
 // WriteCSV emits the two timed runs for machine comparison.
 func (r *FitnessBenchResult) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "config,seconds,evaluations,evals_per_sec,memo_hits,memo_misses,delta_evals,delta_exps_skipped"); err != nil {
+	if _, err := fmt.Fprintln(w, "config,seconds,evaluations,evals_per_sec,memo_hits,memo_misses,memo_warm_hits,delta_evals,delta_exps_skipped"); err != nil {
 		return err
 	}
 	for _, row := range []struct {
 		name string
 		run  FitnessBenchRun
 	}{{"cached", r.Cached}, {"uncached", r.Uncached}} {
-		if _, err := fmt.Fprintf(w, "%s,%.6f,%d,%.1f,%d,%d,%d,%d\n",
+		if _, err := fmt.Fprintf(w, "%s,%.6f,%d,%.1f,%d,%d,%d,%d,%d\n",
 			row.name, row.run.Seconds, row.run.Evaluations, row.run.EvalsPerSec,
-			row.run.MemoHits, row.run.MemoMisses, row.run.DeltaEvals, row.run.DeltaExpsSkipped); err != nil {
+			row.run.MemoHits, row.run.MemoMisses, row.run.MemoWarmHits, row.run.DeltaEvals, row.run.DeltaExpsSkipped); err != nil {
 			return err
 		}
 	}

@@ -33,6 +33,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"pmevo/internal/cachetable"
 	"pmevo/internal/engine"
 	"pmevo/internal/exp"
 	"pmevo/internal/portmap"
@@ -97,6 +98,16 @@ type Options struct {
 	// the OSACA-style validation/refinement use case of §6). Mappings
 	// must cover the instruction set with the configured port count.
 	SeedMappings []*portmap.Mapping
+	// MemoWarm seeds the engine's throughput memo with entries spilled
+	// by a previous run against the SAME experiment set
+	// (engine.LoadMemo). Bit-exact: warm entries are the floats a fresh
+	// evaluation would produce, so results never depend on the warm
+	// start. Ignored when DisableCache is set.
+	MemoWarm []cachetable.Entry
+	// SnapshotMemo captures the memo's live entries into
+	// Result.MemoSnapshot when the run completes, for persistence via
+	// engine.SaveMemo.
+	SnapshotMemo bool
 }
 
 // DefaultOptions returns a configuration suitable for medium-size
@@ -137,8 +148,13 @@ type Result struct {
 	// History records per-generation statistics.
 	History []GenStats
 	// CacheStats snapshots the engine's evaluation counters (memo hits,
-	// delta evaluations, experiments skipped) at the end of the run.
+	// delta evaluations, experiments skipped, disk-warm traffic) at the
+	// end of the run.
 	CacheStats engine.CacheStats
+	// MemoSnapshot holds the memo's live entries when
+	// Options.SnapshotMemo was set (nil otherwise), ready for
+	// engine.SaveMemo.
+	MemoSnapshot []cachetable.Entry
 }
 
 // individual carries a candidate mapping with cached objectives.
@@ -183,6 +199,7 @@ func Run(set *exp.Set, opts Options) (*Result, error) {
 		Workers:     opts.Workers,
 		Predictor:   opts.Engine,
 		MemoEntries: memoEntries,
+		MemoWarm:    opts.MemoWarm,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("evo: %w", err)
@@ -282,6 +299,9 @@ func Run(set *exp.Set, opts Options) (*Result, error) {
 	res.BestVolume = best.volume
 	res.FitnessEvaluations = svc.Evaluations()
 	res.CacheStats = svc.Stats()
+	if opts.SnapshotMemo {
+		res.MemoSnapshot = svc.MemoSnapshot()
+	}
 	return res, nil
 }
 

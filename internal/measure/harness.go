@@ -76,9 +76,11 @@ type Harness struct {
 	measurements int // number of Measure calls, for cost accounting
 
 	// Kernel-cache counters; atomic because MeasureAll simulates
-	// concurrently.
-	simHits   atomic.Int64
-	simMisses atomic.Int64
+	// concurrently. simWarmHits is the subset of simHits served by
+	// entries LoadSimCache seeded from disk.
+	simHits     atomic.Int64
+	simMisses   atomic.Int64
+	simWarmHits atomic.Int64
 }
 
 // NewHarness builds a harness for the given processor.

@@ -2,6 +2,8 @@ package measure
 
 import (
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -587,6 +589,142 @@ func TestKernelCacheAliasedBodies(t *testing.T) {
 	if simKey(h.mach, 1, 1, b3) != k1 {
 		t.Error("same-class forms (identical specs) should alias in the kernel cache")
 	}
+}
+
+// TestSimKeyLengthPacking is the regression test for the read/write
+// list-length encoding. The old key packed both lengths into one
+// 16-bit-shifted word (len(reads)<<16 | len(writes)), so a write list
+// of ≥ 2^16 entries overflowed into the reads field and distinct
+// (reads, writes) splits collapsed to one packed word — e.g. (1, 2^16)
+// and (0, 2^16) OR to the same value. Lengths now enter the key as two
+// separate fingerprint combines, which is injective.
+func TestSimKeyLengthPacking(t *testing.T) {
+	// The packed-word collision the old encoding allowed.
+	oldPacked := func(reads, writes int) uint64 { return uint64(reads)<<16 | uint64(writes) }
+	if oldPacked(1, 1<<16) != oldPacked(0, 1<<16) {
+		t.Fatal("test premise wrong: legacy packing should conflate these length pairs")
+	}
+
+	proc := uarch.SKL()
+	h, err := NewHarness(proc, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := make([]int, 1<<16)
+	body := func(reads, writes []int) []machine.Inst {
+		return []machine.Inst{{Spec: 0, Reads: reads, Writes: writes}}
+	}
+	a := body(regs[:1], regs[:1<<16])
+	b := body(nil, regs[:1<<16])
+	if simKey(h.mach, 1, 1, a) == simKey(h.mach, 1, 1, b) {
+		t.Error("bodies whose legacy length words collide alias in the cache key")
+	}
+	// Boundary splits with identical concatenated register streams must
+	// stay distinct (the job of the length prefix).
+	c := body([]int{1, 2}, []int{3})
+	d := body([]int{1}, []int{2, 3})
+	if simKey(h.mach, 1, 1, c) == simKey(h.mach, 1, 1, d) {
+		t.Error("read/write boundary splits alias in the cache key")
+	}
+	// And equal bodies must still agree.
+	if simKey(h.mach, 1, 1, a) != simKey(h.mach, 1, 1, body(regs[:1], regs[:1<<16])) {
+		t.Error("equal bodies produce different keys")
+	}
+}
+
+// TestSimCacheDiskWarmStart is the end-to-end golden test of the
+// persistence seam: a MeasureAll warm-started from a spilled cache file
+// in a "fresh process" (simulated by flushing the in-memory cache) must
+// be bit-identical to the cold run, report its hits as disk-warm, and
+// degrade to a cold start — with identical results — when the file is
+// missing, truncated, or corrupt.
+func TestSimCacheDiskWarmStart(t *testing.T) {
+	proc := uarch.A72()
+	var es []portmap.Experiment
+	for i := 0; i < 6; i++ {
+		es = append(es, portmap.Experiment{{Inst: proc.ISA.Form(i).ID, Count: 1 + i%2}})
+	}
+	opts := DefaultOptions()
+	opts.Seed = 99
+	measureAll := func() ([]float64, CacheStats) {
+		h, err := NewHarness(proc, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := h.MeasureAll(es)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got, h.CacheStats()
+	}
+
+	FlushSimCache()
+	want, coldStats := measureAll()
+	if coldStats.SimWarmHits != 0 {
+		t.Fatalf("cold run reported %d warm hits", coldStats.SimWarmHits)
+	}
+	path := filepath.Join(t.TempDir(), "simcache.pmc")
+	if err := SaveSimCache(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Fresh process": empty in-memory cache, warm-started from disk.
+	FlushSimCache()
+	loaded, reason := LoadSimCache(path)
+	if loaded == 0 {
+		t.Fatalf("loaded no entries (reason %q)", reason)
+	}
+	procBefore := ProcessCacheStats()
+	got, warmStats := measureAll()
+	for i := range es {
+		if got[i] != want[i] {
+			t.Errorf("experiment %d: warm %v != cold %v", i, got[i], want[i])
+		}
+	}
+	if warmStats.SimMisses != 0 {
+		t.Errorf("warm run missed %d times; every kernel was spilled", warmStats.SimMisses)
+	}
+	if warmStats.SimWarmHits == 0 || warmStats.SimWarmHits != warmStats.SimHits {
+		t.Errorf("warm run hits not attributed to disk: %+v", warmStats)
+	}
+	if d := ProcessCacheStats().Sub(procBefore); d.SimWarmHits != warmStats.SimWarmHits {
+		t.Errorf("process-wide warm delta %d != harness warm hits %d", d.SimWarmHits, warmStats.SimWarmHits)
+	}
+
+	// Damaged or missing files must cold-start with identical results.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(name string, mutate func() error) {
+		t.Run(name, func(t *testing.T) {
+			if err := mutate(); err != nil {
+				t.Fatal(err)
+			}
+			FlushSimCache()
+			loaded, reason := LoadSimCache(path)
+			if loaded != 0 || reason == "" {
+				t.Fatalf("damaged file loaded %d entries (reason %q)", loaded, reason)
+			}
+			got, stats := measureAll()
+			for i := range es {
+				if got[i] != want[i] {
+					t.Errorf("experiment %d: after failed load %v != cold %v", i, got[i], want[i])
+				}
+			}
+			if stats.SimWarmHits != 0 {
+				t.Errorf("failed load produced %d warm hits", stats.SimWarmHits)
+			}
+		})
+	}
+	corrupt("truncated", func() error { return os.WriteFile(path, data[:len(data)/2], 0o644) })
+	corrupt("bit-flipped", func() error {
+		b := append([]byte(nil), data...)
+		b[len(b)/2] ^= 0x40
+		return os.WriteFile(path, b, 0o644)
+	})
+	corrupt("missing", func() error { return os.Remove(path) })
+	FlushSimCache()
 }
 
 // TestMeasureNoiseStreamIndependentOfCache pins the noise-ordering
