@@ -455,6 +455,7 @@ func benchMeasurement(b *testing.B, baseline bool) {
 		proc := uarch.SKL()
 		if baseline {
 			proc.Config.PeriodDetectBudget = machine.PeriodDetectDisabled
+			proc.Config.EventDrivenDisabled = true
 		}
 		sub, ids := subsetISA(b, proc, 2)
 		mopts := measure.DefaultOptions()
@@ -496,6 +497,40 @@ func BenchmarkMachineRun(b *testing.B) {
 		if _, err := mach.Run(body, 50); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkMachineRunDeadCycles times the event-driven fast-forward's
+// best case — a latency chain on the highest-latency SKL instruction,
+// where most cycles are dead — with the skip on and off (period
+// detection disabled on both so the stepper is isolated; the eval
+// machine benchmark asserts their bit-equality).
+func BenchmarkMachineRunDeadCycles(b *testing.B) {
+	for _, eventOff := range []bool{false, true} {
+		name := "event"
+		if eventOff {
+			name = "stepped"
+		}
+		b.Run(name, func(b *testing.B) {
+			proc := uarch.SKL()
+			proc.Config.PeriodDetectBudget = machine.PeriodDetectDisabled
+			proc.Config.EventDrivenDisabled = eventOff
+			mach, err := proc.Machine()
+			if err != nil {
+				b.Fatal(err)
+			}
+			div, _ := proc.ISA.FormByName("div_r64_r64")
+			body := make([]machine.Inst, 6)
+			for i := range body {
+				body[i] = machine.Inst{Spec: div.ID, Reads: []int{0}, Writes: []int{0}}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := mach.Run(body, 200); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

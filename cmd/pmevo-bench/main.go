@@ -63,7 +63,7 @@ type benchRecord struct {
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiment to run: table1|table2|table3|table4|figure6|figure7|figure8|engines|fitness|measure|all")
+	expFlag := flag.String("exp", "all", "experiment to run: table1|table2|table3|table4|figure6|figure7|figure8|engines|fitness|measure|machine|all")
 	scaleFlag := flag.String("scale", "default", "experiment scale: quick|default|full")
 	engineFlag := flag.String("engine", "bottleneck",
 		"throughput engine for the engines consistency dump: "+strings.Join(engine.Names(), "|"))
@@ -136,10 +136,10 @@ func main() {
 	want := map[string]bool{}
 	switch *expFlag {
 	case "all":
-		for _, e := range []string{"table1", "table2", "table3", "table4", "figure6", "figure7", "figure8", "engines", "fitness", "measure"} {
+		for _, e := range []string{"table1", "table2", "table3", "table4", "figure6", "figure7", "figure8", "engines", "fitness", "measure", "machine"} {
 			want[e] = true
 		}
-	case "table1", "table2", "table3", "table4", "figure6", "figure7", "figure8", "figure8a", "figure8b", "ablation", "engines", "fitness", "measure":
+	case "table1", "table2", "table3", "table4", "figure6", "figure7", "figure8", "figure8a", "figure8b", "ablation", "engines", "fitness", "measure", "machine":
 		want[*expFlag] = true
 	default:
 		fatalf("unknown experiment %q", *expFlag)
@@ -212,6 +212,31 @@ func main() {
 		}
 		metrics["sim_warm_hits"] = warmHits
 		record("measure", "", start, metrics)
+	}
+
+	if want["machine"] {
+		progress("running simulator-core benchmark (event-driven vs cycle-by-cycle stepping)")
+		start := time.Now()
+		res, err := eval.RunMachineBench(scale)
+		if err != nil {
+			fatalf("machine: %v", err)
+		}
+		fmt.Println(res.Render())
+		writeCSV(*csvDir, "machine.csv", res.WriteCSV)
+		metrics := map[string]float64{
+			"speedup_latency_min": res.MinSpeedup("latency"),
+			"speedup_divider_min": res.MinSpeedup("divider"),
+			"speedup_dense_min":   res.MinSpeedup("dense"),
+		}
+		for _, a := range res.Archs {
+			for _, k := range a.Kernels {
+				metrics["speedup_"+k.Kernel+"_"+a.Arch] = k.Speedup()
+				metrics["ns_per_iter_"+k.Kernel+"_"+a.Arch] = k.FastNsPerIter
+				metrics["cycles_"+k.Kernel+"_"+a.Arch] = float64(k.Cycles)
+				metrics["skipped_cycles_"+k.Kernel+"_"+a.Arch] = float64(k.SkippedCycles)
+			}
+		}
+		record("machine", "", start, metrics)
 	}
 
 	if want["figure6"] {

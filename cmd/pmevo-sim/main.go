@@ -135,6 +135,26 @@ func main() {
 		}
 		fmt.Printf("throughput (virtual %s, median of %d noisy runs): %.4g cycles per experiment instance\n",
 			*procName, measure.DefaultOptions().Repetitions, mtp)
+		// Show how the simulator earned the number: one diagnostic run
+		// of the measured loop reports the fast paths' engagement (the
+		// detected steady-state period and the dead cycles fast-forwarded
+		// past). Both are diagnostic metadata — results are bit-identical
+		// with either fast path disabled.
+		opts := measure.DefaultOptions()
+		body, _, err := h.BuildLoop(full)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		mach, err := proc.Machine()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		diag, err := mach.Run(body, opts.WarmupIters+opts.MeasureIters)
+		if err != nil {
+			fatalf("simulate: %v", err)
+		}
+		fmt.Printf("simulator: %d cycles, detected period %d cycles / %d iterations, %d dead cycles skipped\n",
+			diag.Cycles, diag.DetectedPeriod, diag.DetectedPeriodIters, diag.SkippedCycles)
 		if *cacheDir != "" {
 			measure.SpillSimCache(*cacheDir, logf)
 		}

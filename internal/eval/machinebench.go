@@ -1,0 +1,266 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"pmevo/internal/machine"
+	"pmevo/internal/uarch"
+)
+
+// MachineBenchResult reports the raw cycle-level simulator throughput
+// with the event-driven fast-forward on versus off, isolated from the
+// other measurement fast paths: both sides run with period detection
+// disabled, so the pair times the core stepper alone. Three kernel
+// classes per Table 1 processor probe the regimes that matter:
+//
+//   - latency: a single-register RAW chain on the processor's highest-
+//     latency instruction — the window parks for a full latency between
+//     issues, the workload where stepping wastes the most cycles (and
+//     where period detection and the kernel cache help least on first
+//     contact);
+//   - divider: a chain of instances of the instruction with the
+//     longest blocking µop (a division latency measurement) — the jump
+//     target composes the readiness bound with the blocked pipe's
+//     busy-release bound;
+//   - dense: independent instances of a minimum-latency single-µop
+//     instruction — every cycle issues, the fast-forward never engages,
+//     and the pair pins that its gate costs nothing measurable.
+//
+// RunMachineBench errors if any kernel's two runs differ in any Result
+// field (the fast-forward must be bit-exact), so the timings always
+// describe identical simulations.
+type MachineBenchResult struct {
+	Archs []MachineBenchArch
+}
+
+// MachineBenchArch is one processor's kernel sweep.
+type MachineBenchArch struct {
+	Arch    string
+	Kernels []MachineBenchKernel
+}
+
+// MachineBenchKernel is one timed kernel: the same simulation run with
+// the event-driven fast-forward on and off.
+type MachineBenchKernel struct {
+	Kernel string // latency, divider, dense
+	Iters  int
+	// Cycles is the simulated cycle count (identical on both sides);
+	// SkippedCycles is how many of them the event-driven run jumped.
+	Cycles        int64
+	SkippedCycles int64
+	FastSeconds   float64
+	BaseSeconds   float64
+	FastNsPerIter float64
+	BaseNsPerIter float64
+}
+
+// Speedup returns the event-driven-over-stepped wall-time ratio.
+func (k MachineBenchKernel) Speedup() float64 {
+	if k.FastSeconds <= 0 {
+		return 0
+	}
+	return k.BaseSeconds / k.FastSeconds
+}
+
+// MinSpeedup returns the smallest speedup over the named kernel class
+// across all architectures (0 if the class never ran).
+func (r *MachineBenchResult) MinSpeedup(kernel string) float64 {
+	min := 0.0
+	for _, a := range r.Archs {
+		for _, k := range a.Kernels {
+			if k.Kernel != kernel {
+				continue
+			}
+			if s := k.Speedup(); min == 0 || s < min {
+				min = s
+			}
+		}
+	}
+	return min
+}
+
+// machineBenchKernels builds the three kernel bodies from a processor's
+// real instruction specs.
+func machineBenchKernels(proc *uarch.Processor) []struct {
+	name string
+	body []machine.Inst
+} {
+	maxLat, maxLatSpec := 0, 0
+	maxBlock, maxBlockSpec := 0, 0
+	minLat, minLatSpec := 0, 0
+	for id, spec := range proc.Specs {
+		if spec.Latency > maxLat {
+			maxLat, maxLatSpec = spec.Latency, id
+		}
+		for _, u := range spec.Uops {
+			if u.Block > maxBlock {
+				maxBlock, maxBlockSpec = u.Block, id
+			}
+		}
+		if len(spec.Uops) == 1 && (minLat == 0 || spec.Latency < minLat) {
+			minLat, minLatSpec = spec.Latency, id
+		}
+	}
+	chain := make([]machine.Inst, 6)
+	for i := range chain {
+		chain[i] = machine.Inst{Spec: maxLatSpec, Reads: []int{0}, Writes: []int{0}}
+	}
+	// Chained dividers — the shape of a division latency measurement:
+	// spans are bounded by both the result latency and the blocking
+	// pipe's release, so the jump target composes the two event sources.
+	// (Independent dividers are issue-bound every Block cycles and sit
+	// between the dense and latency regimes; the stress property tests
+	// cover them for correctness.)
+	div := make([]machine.Inst, 4)
+	for i := range div {
+		div[i] = machine.Inst{Spec: maxBlockSpec, Reads: []int{0}, Writes: []int{0}}
+	}
+	dense := make([]machine.Inst, 12)
+	for i := range dense {
+		dense[i] = machine.Inst{Spec: minLatSpec, Writes: []int{1 + i}}
+	}
+	return []struct {
+		name string
+		body []machine.Inst
+	}{
+		{"latency", chain},
+		{"divider", div},
+		{"dense", dense},
+	}
+}
+
+// RunMachineBench times the event-driven core against the brute-force
+// stepper on all three Table 1 processors.
+func RunMachineBench(scale Scale) (*MachineBenchResult, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	// Enough iterations that each timed side runs for milliseconds even
+	// on the fast path; both sides simulate every cycle of every
+	// iteration (no period detection), so cost scales linearly.
+	iters := 400 * scale.MaxGenerations
+	const reps = 3
+	res := &MachineBenchResult{}
+	for _, name := range []string{"SKL", "ZEN", "A72"} {
+		proc, err := uarch.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		arch := MachineBenchArch{Arch: name}
+		for _, kern := range machineBenchKernels(proc) {
+			k, err := runMachineBenchKernel(proc, kern.name, kern.body, iters, reps)
+			if err != nil {
+				return nil, fmt.Errorf("machine bench %s/%s: %w", name, kern.name, err)
+			}
+			arch.Kernels = append(arch.Kernels, k)
+		}
+		res.Archs = append(res.Archs, arch)
+	}
+	return res, nil
+}
+
+func runMachineBenchKernel(proc *uarch.Processor, name string, body []machine.Inst, iters, reps int) (MachineBenchKernel, error) {
+	build := func(eventOff bool) (*machine.Machine, error) {
+		cfg := proc.Config
+		cfg.PeriodDetectBudget = machine.PeriodDetectDisabled
+		cfg.EventDrivenDisabled = eventOff
+		return machine.New(cfg, proc.Specs)
+	}
+	fastM, err := build(false)
+	if err != nil {
+		return MachineBenchKernel{}, err
+	}
+	baseM, err := build(true)
+	if err != nil {
+		return MachineBenchKernel{}, err
+	}
+	time_ := func(m *machine.Machine) (machine.Result, float64, error) {
+		var last machine.Result
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			r, err := m.Run(body, iters)
+			if err != nil {
+				return machine.Result{}, 0, err
+			}
+			last = r
+		}
+		return last, time.Since(start).Seconds(), nil
+	}
+	fast, fastSecs, err := time_(fastM)
+	if err != nil {
+		return MachineBenchKernel{}, err
+	}
+	base, baseSecs, err := time_(baseM)
+	if err != nil {
+		return MachineBenchKernel{}, err
+	}
+	if fast.Cycles != base.Cycles || fast.Instructions != base.Instructions ||
+		fast.Uops != base.Uops || fast.WindowFullCycles != base.WindowFullCycles ||
+		fast.OccupancySum != base.OccupancySum {
+		return MachineBenchKernel{}, fmt.Errorf(
+			"event-driven run diverged from brute force:\n fast %+v\n base %+v", fast, base)
+	}
+	for p := range base.PortUops {
+		if fast.PortUops[p] != base.PortUops[p] {
+			return MachineBenchKernel{}, fmt.Errorf(
+				"port %d µops differ: fast %d != base %d", p, fast.PortUops[p], base.PortUops[p])
+		}
+	}
+	if base.SkippedCycles != 0 {
+		return MachineBenchKernel{}, fmt.Errorf("brute-force run skipped %d cycles", base.SkippedCycles)
+	}
+	out := MachineBenchKernel{
+		Kernel:        name,
+		Iters:         iters,
+		Cycles:        fast.Cycles,
+		SkippedCycles: fast.SkippedCycles,
+		FastSeconds:   fastSecs,
+		BaseSeconds:   baseSecs,
+	}
+	total := float64(iters * reps)
+	if total > 0 {
+		out.FastNsPerIter = fastSecs * 1e9 / total
+		out.BaseNsPerIter = baseSecs * 1e9 / total
+	}
+	return out, nil
+}
+
+// Render prints the benchmark in a human-readable form.
+func (r *MachineBenchResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Simulator core throughput (event-driven fast-forward vs cycle-by-cycle stepping,\nperiod detection off on both sides; bit-identical results verified per kernel)\n\n")
+	for _, a := range r.Archs {
+		for _, k := range a.Kernels {
+			skippedPct := 0.0
+			if k.Cycles > 0 {
+				skippedPct = 100 * float64(k.SkippedCycles) / float64(k.Cycles)
+			}
+			fmt.Fprintf(&b, "%-4s %-8s %7d iters %10d cycles (%5.1f%% skipped)  event %8.1f ns/iter  stepped %8.1f ns/iter  speedup %.2fx\n",
+				a.Arch, k.Kernel, k.Iters, k.Cycles, skippedPct,
+				k.FastNsPerIter, k.BaseNsPerIter, k.Speedup())
+		}
+	}
+	fmt.Fprintf(&b, "\nmin speedup: latency %.2fx, divider %.2fx, dense %.2fx\n",
+		r.MinSpeedup("latency"), r.MinSpeedup("divider"), r.MinSpeedup("dense"))
+	return b.String()
+}
+
+// WriteCSV emits the per-kernel timed runs for machine comparison.
+func (r *MachineBenchResult) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "arch,kernel,iters,cycles,skipped_cycles,fast_seconds,base_seconds,fast_ns_per_iter,base_ns_per_iter,speedup"); err != nil {
+		return err
+	}
+	for _, a := range r.Archs {
+		for _, k := range a.Kernels {
+			if _, err := fmt.Fprintf(w, "%s,%s,%d,%d,%d,%.6f,%.6f,%.1f,%.1f,%.3f\n",
+				a.Arch, k.Kernel, k.Iters, k.Cycles, k.SkippedCycles,
+				k.FastSeconds, k.BaseSeconds, k.FastNsPerIter, k.BaseNsPerIter, k.Speedup()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

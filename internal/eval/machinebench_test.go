@@ -1,0 +1,68 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"pmevo/internal/uarch"
+)
+
+// TestMachineBenchKernelBitExact smokes the simulator-core benchmark on
+// the cheapest processor: the dead-cycle kernels must engage the
+// fast-forward (and the dense kernel must not), with bit-identical
+// results enforced inside the driver. No timing thresholds — wall-clock
+// speedups are asserted only by the CI perf-smoke job, on dedicated
+// runners.
+func TestMachineBenchKernelBitExact(t *testing.T) {
+	proc, err := uarch.ByName("A72")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernels := machineBenchKernels(proc)
+	if len(kernels) != 3 {
+		t.Fatalf("expected 3 kernel classes, got %d", len(kernels))
+	}
+	arch := MachineBenchArch{Arch: "A72"}
+	for _, kern := range kernels {
+		k, err := runMachineBenchKernel(proc, kern.name, kern.body, 600, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch kern.name {
+		case "latency", "divider":
+			if k.SkippedCycles == 0 {
+				t.Errorf("%s kernel never engaged the fast-forward", kern.name)
+			}
+			// The dead-cycle kernels exist to be dominated by dead
+			// cycles; anything below half skipped means the kernel
+			// shape regressed.
+			if 2*k.SkippedCycles < k.Cycles {
+				t.Errorf("%s kernel skipped only %d of %d cycles", kern.name, k.SkippedCycles, k.Cycles)
+			}
+		case "dense":
+			if k.SkippedCycles != 0 {
+				t.Errorf("dense kernel skipped %d cycles; it must saturate issue", k.SkippedCycles)
+			}
+		}
+		if k.Cycles <= 0 {
+			t.Errorf("%s kernel simulated %d cycles", kern.name, k.Cycles)
+		}
+		arch.Kernels = append(arch.Kernels, k)
+	}
+	res := &MachineBenchResult{Archs: []MachineBenchArch{arch}}
+	if out := res.Render(); !strings.Contains(out, "A72") {
+		t.Errorf("render missing arch:\n%s", out)
+	}
+	var sb strings.Builder
+	if err := res.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"A72,latency", "A72,divider", "A72,dense"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("CSV missing %s:\n%s", want, sb.String())
+		}
+	}
+	if res.MinSpeedup("latency") <= 0 {
+		t.Error("latency speedup not recorded")
+	}
+}

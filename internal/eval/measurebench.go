@@ -131,6 +131,7 @@ func runMeasureBenchArch(name string, scale Scale, cacheDir string) (MeasureBenc
 		}
 		if baseline {
 			proc.Config.PeriodDetectBudget = machine.PeriodDetectDisabled
+			proc.Config.EventDrivenDisabled = true
 		}
 		sub, ids, err := subsetForms(proc.ISA, perClass)
 		if err != nil {

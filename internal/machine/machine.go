@@ -21,8 +21,12 @@
 // it hashes a canonical state snapshot every cycle and, on recurrence,
 // extrapolates the remaining iterations arithmetically instead of
 // simulating them — with results bit-identical to full cycle-by-cycle
-// simulation (see period.go). Simulation storage lives in pooled
-// per-goroutine scratch, so steady-state runs allocate (almost) nothing.
+// simulation (see period.go). Inside every simulated span the core is
+// event-driven: cycles in which no dispatch and no issue is possible are
+// fast-forwarded in one arithmetic jump to the next readiness event
+// (see run.go), again bit-identical to stepping them. Simulation storage
+// lives in pooled per-goroutine scratch, so steady-state runs allocate
+// (almost) nothing.
 package machine
 
 import (
@@ -81,7 +85,24 @@ type Config struct {
 	// default budget; PeriodDetectDisabled (or any negative value) turns
 	// detection off entirely. Detection never changes results: an
 	// extrapolated run is bit-identical to full simulation, only cheaper.
+	// Detection composes with, and is independent of, the event-driven
+	// fast-forward (EventDrivenDisabled): detection removes redundant
+	// *iterations* once a recurrence is found, the fast-forward removes
+	// dead *cycles* inside every simulated span — including the transient
+	// before a recurrence and runs where detection is off or never fires.
+	// Disabling both (uarch.Processor.BaselineMachine) yields the
+	// brute-force cycle-by-cycle twin used as the bit-equality oracle.
 	PeriodDetectBudget int
+	// EventDrivenDisabled turns off the event-driven fast-forward in the
+	// simulation core: every cycle is stepped individually even when no
+	// state transition is possible (window full or stream done, and every
+	// waiting µop blocked on a future completion or busy port). Like
+	// PeriodDetectBudget, the knob never changes results — a
+	// fast-forwarded run is bit-identical to the stepped run, dead spans
+	// are accounted arithmetically (see run.go) — it exists so the
+	// brute-force twin stays available as the bit-equality oracle and so
+	// eval.RunMachineBench can quantify the fast-forward win.
+	EventDrivenDisabled bool
 }
 
 // Validate checks the configuration.
@@ -154,6 +175,19 @@ type Result struct {
 	// Diagnostic metadata: it does not affect, and is not part of, the
 	// simulated semantics.
 	DetectedPeriod int64
+	// DetectedPeriodIters is the same steady-state period expressed in
+	// body iterations. A later run of the same body can pass it back as
+	// the period hint (SteadyStateCyclesHinted) to skip most detection
+	// hashing. Diagnostic metadata, like DetectedPeriod.
+	DetectedPeriodIters int
+	// SkippedCycles counts the dead cycles the event-driven core
+	// fast-forwarded over instead of stepping (0 with
+	// Config.EventDrivenDisabled). It counts cycles actually simulated
+	// past, not cycles covered by period extrapolation — the two
+	// mechanisms' wins are reported separately. Diagnostic metadata: a
+	// fast-forwarded run is bit-identical to the stepped run on every
+	// other field.
+	SkippedCycles int64
 }
 
 // IPC returns instructions per cycle.
@@ -236,9 +270,9 @@ func (m *Machine) NumSpecs() int { return len(m.specs) }
 // Fingerprint returns a 64-bit identity of the simulated machine: the
 // configuration and every instruction spec, hashed. Two machines with
 // equal fingerprints produce identical Run results on every body (up to
-// ~2^-64 hash-collision odds). The period-detection budget is excluded —
-// it never changes results. The measurement layer's kernel-simulation
-// cache keys on this.
+// ~2^-64 hash-collision odds). The period-detection budget and the
+// event-driven knob are excluded — neither ever changes results. The
+// measurement layer's kernel-simulation cache keys on this.
 func (m *Machine) Fingerprint() uint64 { return m.fp }
 
 // SpecFingerprint returns a content hash of one instruction spec (µop
@@ -312,12 +346,28 @@ func (m *Machine) pickPort(allowed, issued portmap.PortSet, busyUntil, load []in
 // bit-identical to standalone Runs (and hence to brute-force simulation
 // with detection disabled).
 func (m *Machine) SteadyStateCycles(body []Inst, warmup, measure int) (float64, error) {
+	v, _, err := m.SteadyStateCyclesHinted(body, warmup, measure, 0)
+	return v, err
+}
+
+// SteadyStateCyclesHinted is SteadyStateCycles with a period hint and
+// run diagnostics: periodHint, when positive, is a steady-state period
+// in body iterations from an earlier run of the same body (typically
+// Result.DetectedPeriodIters), and restricts period-detection hashing
+// to iterations congruent modulo the hint — the second run of a known
+// body pays ~1/hint of the detection cost. A wrong or stale hint only
+// delays detection (recurrences are still found at hint-aligned
+// iterations, or the run falls back to plain simulation); the returned
+// cycles are bit-identical to an unhinted run either way. The returned
+// Result is the diagnostics of the warmup+measure run (its
+// DetectedPeriodIters feeds the next hint).
+func (m *Machine) SteadyStateCyclesHinted(body []Inst, warmup, measure, periodHint int) (float64, Result, error) {
 	if measure <= 0 {
-		return 0, errors.New("machine: measure iterations must be positive")
+		return 0, Result{}, errors.New("machine: measure iterations must be positive")
 	}
-	c1, r2, err := m.runPair(body, warmup, warmup+measure)
+	c1, r2, err := m.runPair(body, warmup, warmup+measure, periodHint)
 	if err != nil {
-		return 0, err
+		return 0, Result{}, err
 	}
-	return float64(r2.Cycles-c1) / float64(measure), nil
+	return float64(r2.Cycles-c1) / float64(measure), r2, nil
 }

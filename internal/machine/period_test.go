@@ -17,16 +17,21 @@ import (
 	"pmevo/internal/uarch"
 )
 
-// twin builds a detection-enabled and a brute-force machine from the
-// same configuration and specs.
+// twin builds a fast machine (period detection and the event-driven
+// fast-forward both enabled) and a brute-force machine (both disabled)
+// from the same configuration and specs, so every comparison below
+// exercises the two fast paths composed against pure cycle-by-cycle
+// simulation.
 func twin(t *testing.T, cfg machine.Config, specs []machine.InstSpec) (det, brute *machine.Machine) {
 	t.Helper()
 	cfg.PeriodDetectBudget = 0
+	cfg.EventDrivenDisabled = false
 	det, err := machine.New(cfg, specs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.PeriodDetectBudget = machine.PeriodDetectDisabled
+	cfg.EventDrivenDisabled = true
 	brute, err = machine.New(cfg, specs)
 	if err != nil {
 		t.Fatal(err)
@@ -34,8 +39,10 @@ func twin(t *testing.T, cfg machine.Config, specs []machine.InstSpec) (det, brut
 	return det, brute
 }
 
-// sameResult compares every semantic field (DetectedPeriod is
-// diagnostic metadata and intentionally excluded).
+// sameResult compares every semantic field (DetectedPeriod,
+// DetectedPeriodIters, and SkippedCycles are diagnostic metadata and
+// intentionally excluded — they describe how the run was computed, not
+// what it computed).
 func sameResult(t *testing.T, ctx string, got, want machine.Result) {
 	t.Helper()
 	if got.Cycles != want.Cycles || got.Instructions != want.Instructions ||
@@ -270,6 +277,9 @@ func TestBaselineMachineMatches(t *testing.T) {
 		sameResult(t, proc.Name, got, want)
 		if want.DetectedPeriod != 0 {
 			t.Errorf("%s: BaselineMachine still detects periods", proc.Name)
+		}
+		if want.SkippedCycles != 0 {
+			t.Errorf("%s: BaselineMachine still fast-forwards cycles (%d skipped)", proc.Name, want.SkippedCycles)
 		}
 	}
 }

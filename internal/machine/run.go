@@ -3,6 +3,7 @@ package machine
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"pmevo/internal/portmap"
 )
@@ -92,6 +93,21 @@ type sim struct {
 	detecting    bool
 	budget       int64
 
+	// hintIters, when > 1, restricts detection snapshots to iterations
+	// congruent to 0 modulo the hint: a caller that already knows the
+	// body's steady-state period (in iterations) from an earlier run
+	// pays ~1/hint of the hashing cost. States at iterations i and i+kP
+	// are equal once steady, so sampling any congruence class still
+	// finds a recurrence (possibly a multiple of the true period, which
+	// extrapolates just as exactly); a wrong hint at worst delays
+	// detection and never changes results.
+	hintIters int
+
+	// eventSkip enables the event-driven fast-forward; skipped counts
+	// the dead cycles jumped over (Result.SkippedCycles).
+	eventSkip bool
+	skipped   int64
+
 	// Period extrapolation state, filled in when a recurrence is found:
 	// the final result gains extraPeriods copies of the per-period stat
 	// deltas.
@@ -125,7 +141,9 @@ type sim struct {
 //
 // Run detects the steady-state period of the (deterministic) execution
 // and extrapolates the remaining iterations exactly, unless disabled via
-// Config.PeriodDetectBudget; results are bit-identical either way.
+// Config.PeriodDetectBudget, and fast-forwards dead cycles inside every
+// simulated span unless disabled via Config.EventDrivenDisabled; results
+// are bit-identical whichever combination is enabled.
 func (m *Machine) Run(body []Inst, iters int) (Result, error) {
 	for idx, in := range body {
 		if in.Spec < 0 || in.Spec >= len(m.specs) {
@@ -176,6 +194,7 @@ func (s *sim) reset() {
 	if s.detecting {
 		s.sc.det.start(s)
 	}
+	s.eventSkip = !s.m.cfg.EventDrivenDisabled
 }
 
 // cellFor returns the completion cell index of a register's most recent
@@ -410,6 +429,12 @@ func (s *sim) finishCycle(dispatched int) bool {
 	return s.done() && len(s.sc.window) == 0
 }
 
+// watchdog bounds the simulated cycle count. The top-of-loop check is
+// the only exit for runaway simulations, so the event-driven jump must
+// never leap a run from below the limit to "past it unnoticed":
+// nextEventCycle clamps its target to watchdog+1, the first cycle the
+// check rejects, so a jump over the limit is reported exactly like a
+// stepped run reaching it.
 const watchdog = int64(1) << 40
 
 // loop is the simulation main loop, entered at the top of a cycle.
@@ -420,7 +445,13 @@ func (s *sim) loop() error {
 		}
 		if s.detecting && !s.done() && s.iter > s.lastSnapIter {
 			s.lastSnapIter = s.iter
-			if s.cycle >= s.budget {
+			if s.hintIters > 1 && s.iter%s.hintIters != 0 {
+				// Period-hinted run: only hint-aligned iterations are
+				// hashed (see the hintIters field comment). Skipping
+				// the budget check with the snapshot is deliberate —
+				// detection cost, which the budget bounds, is only
+				// paid on hashed iterations.
+			} else if s.cycle >= s.budget {
 				s.detecting = false
 			} else if rec, ok := s.sc.det.check(s); ok {
 				// The state at this top-of-cycle recurred: execution
@@ -438,8 +469,105 @@ func (s *sim) loop() error {
 		if s.finishCycle(dispatched) {
 			return nil
 		}
+		// Event-driven fast-forward: a cycle that dispatched nothing and
+		// issued nothing changed no semantic state — dispatch stays
+		// blocked (the window is still full, or the stream is done) and
+		// every waiting µop stays blocked until its readiness event. The
+		// cycles from here to the next event are therefore dead, and all
+		// their per-cycle accounting is linear in the span length:
+		//
+		//   - windowFull: the stepped loop would add 1 per cycle exactly
+		//     when !done (dispatched==0 with instructions remaining
+		//     implies the window is full, and no issues means it stays
+		//     full), so the span adds span·[!done];
+		//   - occupancy: no µop enters or leaves the window, so the span
+		//     adds span·len(window);
+		//   - every other counter (uops, instructions, port µops,
+		//     lastIssue) only changes on dispatch or issue — none occur.
+		//
+		// Jumping cycle straight to the event is thus exact, not
+		// approximate. Detection snapshots are unaffected: snapshots
+		// fire at the first top-of-cycle of a new iteration, iterations
+		// only advance on dispatch, and the span dispatches nothing —
+		// the stepped loop would not have hashed any of the skipped
+		// cycles either. The gate below (nothing happened this cycle) is
+		// also what keeps dense kernels regression-free: a cycle that
+		// issues never pays for the event scan.
+		if s.eventSkip && dispatched == 0 && s.lastIssue != s.cycle {
+			if next := s.nextEventCycle(); next > s.cycle+1 {
+				span := next - s.cycle - 1
+				if !s.done() {
+					s.windowFull += span
+				}
+				s.occupancy += span * int64(len(s.sc.window))
+				s.skipped += span
+				s.cycle = next
+				continue
+			}
+		}
 		s.cycle++
 	}
+}
+
+// nextEventCycle returns the earliest cycle at which any state
+// transition is possible, given that nothing happened in the current
+// cycle: the minimum over in-window flights of
+// max(wakeAt, earliest allowed-port release). Flights whose sources are
+// still unresolved (a producer µop has not issued) contribute nothing —
+// the producer itself is an older in-window flight whose own bound
+// covers them, and the oldest flight in the window always has resolved
+// sources (every older µop has left the window, i.e. issued), so the
+// minimum is always finite while the window is non-empty. At the
+// returned cycle at least one µop issues: the bound-achieving flight is
+// awake and one of its ports is free, and the oldest-first scan issues
+// it or something older. Only called after a dead cycle, so no port was
+// newly taken and no cell newly written this cycle.
+func (s *sim) nextEventCycle() int64 {
+	sc := s.sc
+	cells := sc.cells
+	next := int64(notReady)
+	for fi := range sc.window {
+		f := &sc.window[fi]
+		wake := f.wakeAt
+		if wake == notReady {
+			// Same rescan finishCycle performs; caching the result is
+			// safe because wakeAt is derived state and cells cannot
+			// change before the next issue.
+			wake = 0
+			for _, ci := range sc.srcIdx[f.srcOff : f.srcOff+f.srcLen] {
+				if v := cells[ci]; v > wake {
+					wake = v
+				}
+			}
+			f.wakeAt = wake
+			if wake == notReady {
+				continue
+			}
+		}
+		minBusy := int64(notReady)
+		for v := uint64(f.ports); v != 0; v &= v - 1 {
+			k := bits.TrailingZeros64(v)
+			if b := sc.busy[k]; b < minBusy {
+				minBusy = b
+				if b <= s.cycle {
+					break
+				}
+			}
+		}
+		t := wake
+		if minBusy > t {
+			t = minBusy
+		}
+		if t < next {
+			next = t
+		}
+	}
+	if next > watchdog {
+		// Never leap past the watchdog unreported (see its comment); the
+		// clamp also catches the impossible all-unresolved window.
+		next = watchdog + 1
+	}
+	return next
 }
 
 // run simulates from scratch and assembles the Result.
@@ -451,13 +579,15 @@ func (s *sim) run() (Result, error) {
 	}
 	cfg := &s.m.cfg
 	res := Result{
-		Cycles:           s.lastIssue + 1 + s.extraPeriods*s.periodCycles,
-		Instructions:     s.instructions + s.extraPeriods*s.dInstructions,
-		Uops:             s.uops + s.extraPeriods*s.dUops,
-		WindowFullCycles: s.windowFull + s.extraPeriods*s.dWindowFull,
-		OccupancySum:     s.occupancy + s.extraPeriods*s.dOccupancy,
-		PortUops:         make([]int64, cfg.NumPorts),
-		DetectedPeriod:   s.periodCycles,
+		Cycles:              s.lastIssue + 1 + s.extraPeriods*s.periodCycles,
+		Instructions:        s.instructions + s.extraPeriods*s.dInstructions,
+		Uops:                s.uops + s.extraPeriods*s.dUops,
+		WindowFullCycles:    s.windowFull + s.extraPeriods*s.dWindowFull,
+		OccupancySum:        s.occupancy + s.extraPeriods*s.dOccupancy,
+		PortUops:            make([]int64, cfg.NumPorts),
+		DetectedPeriod:      s.periodCycles,
+		DetectedPeriodIters: s.periodIters,
+		SkippedCycles:       s.skipped,
 	}
 	copy(res.PortUops, s.sc.portUops)
 	for p := range s.dPortUops {
@@ -492,8 +622,13 @@ func (s *sim) finish() (int64, error) {
 // each bit-identical to a standalone Run. The shared prefix — including
 // the steady-state transient, the expensive part once period detection
 // truncates the rest — is simulated once; the n1 result is completed
-// from a forked state copy.
-func (m *Machine) runPair(body []Inst, n1, n2 int) (int64, Result, error) {
+// from a forked state copy. hint is a period-detection sampling hint in
+// body iterations (see SteadyStateCyclesHinted); 0 hashes every
+// iteration. The fork lands on the same cycle it would under brute
+// force: forks are taken inside the dispatch stage (mid-dispatch) or at
+// a recurrence, and the event-driven fast-forward only ever jumps over
+// cycles in which nothing dispatches.
+func (m *Machine) runPair(body []Inst, n1, n2, hint int) (int64, Result, error) {
 	if n1 >= n2 {
 		return 0, Result{}, fmt.Errorf("machine: runPair targets must be ordered, got %d >= %d", n1, n2)
 	}
@@ -516,7 +651,7 @@ func (m *Machine) runPair(body []Inst, n1, n2 int) (int64, Result, error) {
 		}
 	}
 	sc := m.getScratch()
-	s := sim{m: m, body: body, iters: n2, sc: sc, forkAt: n1}
+	s := sim{m: m, body: body, iters: n2, sc: sc, forkAt: n1, hintIters: hint}
 	res, err := s.run()
 	if err != nil {
 		if s.fork != nil {

@@ -77,10 +77,12 @@ type Harness struct {
 
 	// Kernel-cache counters; atomic because MeasureAll simulates
 	// concurrently. simWarmHits is the subset of simHits served by
-	// entries LoadSimCache seeded from disk.
+	// entries LoadSimCache seeded from disk; simHintHits counts
+	// simulations that ran with a per-body period hint (simcache.go).
 	simHits     atomic.Int64
 	simMisses   atomic.Int64
 	simWarmHits atomic.Int64
+	simHintHits atomic.Int64
 }
 
 // NewHarness builds a harness for the given processor.

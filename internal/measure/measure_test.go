@@ -494,9 +494,11 @@ func TestMeasureAllKernelCacheBitExact(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Full brute force: cache off AND steady-state period detection off.
+	// Full brute force: cache off, steady-state period detection off, and
+	// the event-driven fast-forward off.
 	bruteProc := uarch.SKL()
 	bruteProc.Config.PeriodDetectBudget = machine.PeriodDetectDisabled
+	bruteProc.Config.EventDrivenDisabled = true
 	brute, err := NewHarness(bruteProc, optsOff)
 	if err != nil {
 		t.Fatal(err)
@@ -759,5 +761,71 @@ func TestMeasureNoiseStreamIndependentOfCache(t *testing.T) {
 	}
 	if on[0] == on[1] {
 		t.Error("repeated measurements returned identical noisy values; noise not drawn per measurement")
+	}
+}
+
+// TestKernelCachePeriodHints pins the per-body hint seam: a second
+// harness measuring the same experiments under a different iteration
+// budget misses the kernel cache (its keys include the budget) but
+// reuses the periods the first harness detected — and its results stay
+// bit-identical to an uncached harness with the same configuration.
+func TestKernelCachePeriodHints(t *testing.T) {
+	FlushSimCache()
+	defer FlushSimCache()
+	proc := uarch.SKL()
+	var es []portmap.Experiment
+	for i := 0; i < 6; i++ {
+		es = append(es, portmap.Experiment{{Inst: proc.ISA.Form(i).ID, Count: 1}})
+	}
+	opts := DefaultOptions()
+	opts.Seed = 17
+
+	a, err := NewHarness(proc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.MeasureAll(es); err != nil {
+		t.Fatal(err)
+	}
+
+	optsB := opts
+	optsB.MeasureIters = opts.MeasureIters + 80 // same bodies, new cache keys
+	b, err := NewHarness(proc, optsB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.MeasureAll(es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distinct-body keys from harness A never hit (the budget is part of
+	// the key): every simulation B actually runs is a miss (its only hits
+	// are bodies aliased within its own batch), and the misses reuse A's
+	// detected periods through the hint table.
+	st := b.CacheStats()
+	if st.SimMisses == 0 {
+		t.Fatal("budget change produced no kernel-cache misses")
+	}
+	if st.SimPeriodHints == 0 {
+		t.Error("no period hints reused across iteration budgets")
+	}
+
+	optsOff := optsB
+	optsOff.DisableSimCache = true
+	plain, err := NewHarness(proc, optsOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plain.MeasureAll(es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range es {
+		if got[i] != want[i] {
+			t.Errorf("experiment %d: hinted %v != unhinted %v", i, got[i], want[i])
+		}
+	}
+	if off := plain.CacheStats(); off.SimPeriodHints != 0 {
+		t.Errorf("disabled cache recorded hint traffic: %+v", off)
 	}
 }

@@ -72,14 +72,16 @@ func (p *Processor) Machine() (*machine.Machine, error) {
 	return machine.New(p.Config, p.Specs)
 }
 
-// BaselineMachine builds the processor's simulator with steady-state
-// period detection disabled: the brute-force cycle-by-cycle reference
-// that the measurement benchmark and the simulator property tests
-// compare against. Results are bit-identical to Machine(); only the
-// simulation cost differs.
+// BaselineMachine builds the processor's simulator with both fast paths
+// off — steady-state period detection disabled and the event-driven
+// fast-forward disabled: the brute-force cycle-by-cycle reference that
+// the measurement benchmark and the simulator property tests compare
+// against. Results are bit-identical to Machine(); only the simulation
+// cost differs.
 func (p *Processor) BaselineMachine() (*machine.Machine, error) {
 	cfg := p.Config
 	cfg.PeriodDetectBudget = machine.PeriodDetectDisabled
+	cfg.EventDrivenDisabled = true
 	return machine.New(cfg, p.Specs)
 }
 
