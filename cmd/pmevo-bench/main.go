@@ -10,9 +10,11 @@
 //	pmevo-bench -exp all -scale quick -json results/
 //
 // Experiments: table1, table2, table3, table4, figure6, figure7,
-// figure8, engines, all. Tables 2–4 and Figure 7 share the same
-// inference pipelines and are computed together when any of them is
-// requested.
+// figure8, engines, fitness, measure, machine, evo, all. Tables 2–4 and
+// Figure 7 share the same inference pipelines and are computed together
+// when any of them is requested. The evo experiment compares the
+// island-model evolution loop against the single-population algorithm
+// at an equal evaluation budget.
 //
 // -engine selects the throughput engine for the `engines` consistency
 // dump; running it with -engine=lp and -engine=bottleneck must produce
@@ -63,7 +65,7 @@ type benchRecord struct {
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiment to run: table1|table2|table3|table4|figure6|figure7|figure8|engines|fitness|measure|machine|all")
+	expFlag := flag.String("exp", "all", "experiment to run: table1|table2|table3|table4|figure6|figure7|figure8|engines|fitness|measure|machine|evo|all")
 	scaleFlag := flag.String("scale", "default", "experiment scale: quick|default|full")
 	engineFlag := flag.String("engine", "bottleneck",
 		"throughput engine for the engines consistency dump: "+strings.Join(engine.Names(), "|"))
@@ -136,10 +138,10 @@ func main() {
 	want := map[string]bool{}
 	switch *expFlag {
 	case "all":
-		for _, e := range []string{"table1", "table2", "table3", "table4", "figure6", "figure7", "figure8", "engines", "fitness", "measure", "machine"} {
+		for _, e := range []string{"table1", "table2", "table3", "table4", "figure6", "figure7", "figure8", "engines", "fitness", "measure", "machine", "evo"} {
 			want[e] = true
 		}
-	case "table1", "table2", "table3", "table4", "figure6", "figure7", "figure8", "figure8a", "figure8b", "ablation", "engines", "fitness", "measure", "machine":
+	case "table1", "table2", "table3", "table4", "figure6", "figure7", "figure8", "figure8a", "figure8b", "ablation", "engines", "fitness", "measure", "machine", "evo":
 		want[*expFlag] = true
 	default:
 		fatalf("unknown experiment %q", *expFlag)
@@ -237,6 +239,33 @@ func main() {
 			}
 		}
 		record("machine", "", start, metrics)
+	}
+
+	if want["evo"] {
+		progress("running evolution-loop benchmark (island model vs single population)")
+		start := time.Now()
+		res, err := eval.RunEvoBench(scale)
+		if err != nil {
+			fatalf("evo: %v", err)
+		}
+		fmt.Println(res.Render())
+		writeCSV(*csvDir, "evo.csv", res.WriteCSV)
+		record("evo", "", start, map[string]float64{
+			"speedup":               res.Speedup(),
+			"islands":               float64(res.Islands),
+			"seconds_single":        res.Single.Seconds,
+			"seconds_islands":       res.Island.Seconds,
+			"evaluations_single":    float64(res.Single.Evaluations),
+			"evaluations_islands":   float64(res.Island.Evaluations),
+			"evals_per_sec_single":  res.Single.EvalsPerSec,
+			"evals_per_sec_islands": res.Island.EvalsPerSec,
+			"fit_cache_hits":        float64(res.Island.FitCacheHits),
+			"fit_cache_hit_rate":    res.Island.FitCacheHitRate,
+			"generations_single":    float64(res.Single.Generations),
+			"generations_islands":   float64(res.Island.Generations),
+			"best_error_single":     res.Single.BestError,
+			"best_error_islands":    res.Island.BestError,
+		})
 	}
 
 	if want["figure6"] {

@@ -31,6 +31,12 @@ func main() {
 	osacaOut := flag.String("osaca", "", "also write an OSACA-style machine model fragment to this file")
 	population := flag.Int("population", 300, "evolutionary algorithm population size")
 	generations := flag.Int("generations", 40, "maximum generations")
+	islands := flag.Int("islands", 0,
+		"island count for the evolutionary algorithm (0: single population; N>1 shards the population into N concurrently evolving islands)")
+	migrationInterval := flag.Int("migration-interval", 0,
+		"generations between island migrations (0: default; negative: no migration); ignored with -islands <= 1")
+	migrationCount := flag.Int("migration-count", 0,
+		"emigrants per island per migration (0: default; negative: no migration); ignored with -islands <= 1")
 	formsPerClass := flag.Int("forms-per-class", 3, "instruction forms per semantic class (0: all forms)")
 	cacheDir := flag.String("cache-dir", "",
 		"directory for the persistent kernel-simulation cache; loaded before measurement, spilled on success")
@@ -42,6 +48,9 @@ func main() {
 	scale.Population = *population
 	scale.MaxGenerations = *generations
 	scale.MaxFormsPerClass = *formsPerClass
+	scale.Islands = *islands
+	scale.MigrationInterval = *migrationInterval
+	scale.MigrationCount = *migrationCount
 	scale.Seed = *seed
 
 	// Warm-start the kernel-simulation cache from a previous invocation:
@@ -57,8 +66,12 @@ func main() {
 	}
 
 	start := time.Now()
+	layout := "single population"
+	if *islands > 1 {
+		layout = fmt.Sprintf("%d islands", *islands)
+	}
 	fmt.Fprintf(os.Stderr, "[pmevo-infer] inferring port mapping for %s "+
-		"(population %d, max %d generations)\n", *procName, *population, *generations)
+		"(population %d, max %d generations, %s)\n", *procName, *population, *generations, layout)
 	run, err := eval.RunPipeline(*procName, scale)
 	if err != nil {
 		fatalf("%v", err)
@@ -79,6 +92,10 @@ func main() {
 		run.SubISA.NumForms(), res.Classes.NumClasses(), res.CongruentFraction()*100)
 	fmt.Fprintf(os.Stderr, "[pmevo-infer] evolution: %d generations, %d fitness evaluations, Davg = %.3f\n",
 		res.Evo.Generations, res.Evo.FitnessEvaluations, res.Evo.BestError)
+	if st := res.Evo.CacheStats; st.FitCacheHits+st.FitCacheMisses > 0 {
+		logf("cross-generation fitness cache: %d hits, %d misses (%d slots)",
+			st.FitCacheHits, st.FitCacheMisses, st.FitCacheEntries)
+	}
 	fmt.Fprintf(os.Stderr, "[pmevo-infer] mapping uses %d distinct µops; total time %s\n",
 		res.NumUops(), time.Since(start).Round(time.Millisecond))
 

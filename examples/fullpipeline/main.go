@@ -8,7 +8,7 @@
 //
 // Run with:
 //
-//	go run ./examples/fullpipeline [-proc SKL] [-forms 2]
+//	go run ./examples/fullpipeline [-proc SKL] [-forms 2] [-islands 4]
 package main
 
 import (
@@ -29,12 +29,15 @@ import (
 func main() {
 	procName := flag.String("proc", "SKL", "processor under test: SKL|ZEN|A72")
 	formsPerClass := flag.Int("forms", 2, "instruction forms per semantic class")
+	islands := flag.Int("islands", 0,
+		"evolve N concurrent island sub-populations with ring migration (0: single population)")
 	flag.Parse()
 
 	scale := eval.DefaultScale()
 	scale.MaxFormsPerClass = *formsPerClass
 	scale.Population = 300
 	scale.MaxGenerations = 40
+	scale.Islands = *islands
 
 	start := time.Now()
 	fmt.Printf("running the PMEvo pipeline on the virtual %s...\n", *procName)

@@ -47,6 +47,7 @@ import (
 const (
 	SchemaSimCache    uint32 = 1 // measure: kernel-simulation cache
 	SchemaFitnessMemo uint32 = 2 // engine: per-experiment throughput memo
+	SchemaPeriodHints uint32 = 3 // measure: per-body steady-state period hints
 )
 
 // formatVersion is bumped on any incompatible layout change; old files
@@ -185,6 +186,11 @@ func Load(path string, schema uint32, contentKey uint64) (entries []Entry, reaso
 			continue // never stored by Save; skip rather than poison a table
 		}
 		entries = append(entries, e)
+	}
+	if len(entries) == 0 {
+		// Valid but empty (a spill taken before anything was cached):
+		// give callers that log empty loads a real diagnostic.
+		return nil, "empty cache file"
 	}
 	return entries, ""
 }

@@ -50,6 +50,18 @@ type ServiceOptions struct {
 	// are bit-identical to a cold start; hits on them are counted in
 	// CacheStats.MemoWarmHits. Ignored when the memo is disabled.
 	MemoWarm []cachetable.Entry
+	// FitCacheEntries bounds the cross-generation whole-mapping fitness
+	// cache (slots, rounded up to a power of two): FingerprintAll(m) →
+	// Davg(m). Where the throughput memo deduplicates per-experiment
+	// work inside one evaluation, this cache skips the evaluation of a
+	// recurring candidate entirely — across generations, and across the
+	// islands of an island-model run sharing one Service. Values are
+	// the exact floats a fresh evaluation would produce (the cache holds
+	// a pure function of the mapping under the fixed experiment set), so
+	// hits never change results. <= 0 disables the cache (the zero-value
+	// option keeps the pre-existing Service behavior); consumers opt in
+	// with a size (evo.Run uses 2^16 slots by default).
+	FitCacheEntries int
 }
 
 // CacheStats is a snapshot of a Service's evaluation counters. The
@@ -81,6 +93,13 @@ type CacheStats struct {
 	// attribution of keys, not of stored bytes.
 	MemoWarmEntries int64
 	MemoWarmHits    int64
+	// FitCacheHits / FitCacheMisses count cross-generation fitness-cache
+	// lookups (FitnessCacheGet): a hit skipped one whole candidate
+	// evaluation; FitCacheEntries is the cache size in slots (0 when
+	// disabled). Cross-generation hit rate = hits / (hits + misses).
+	FitCacheHits    int64
+	FitCacheMisses  int64
+	FitCacheEntries int64
 }
 
 // Service evaluates candidate port mappings against a fixed measured
@@ -144,6 +163,12 @@ type Service struct {
 	warmKeys    map[uint64]struct{}
 	warmEntries int
 
+	// fitCache is the cross-generation whole-mapping fitness cache
+	// (FingerprintAll → Davg bits); nil when disabled. Like the memo it
+	// is a bounded, lock-free cache of a pure function, shared by every
+	// goroutine — and every island — evaluating against this Service.
+	fitCache *cachetable.Table
+
 	workerSc []evalScratch // per-worker state for EvaluateAll
 	pool     sync.Pool     // *evalScratch for Evaluate
 
@@ -154,6 +179,8 @@ type Service struct {
 	memoWarmHits atomic.Int64
 	deltaSkipped atomic.Int64
 	memoResizes  atomic.Int64
+	fitHits      atomic.Int64
+	fitMisses    atomic.Int64
 	// missesAtGrow remembers the total miss count at the last growth
 	// decision, so maybeGrowMemo reasons about a window of traffic.
 	missesAtGrow atomic.Int64
@@ -338,7 +365,47 @@ func NewService(set *exp.Set, opts ServiceOptions) (*Service, error) {
 			s.expSalt[i] = portmap.CombineFingerprints(0xa0761d6478bd642f, uint64(i)+1)
 		}
 	}
+	if opts.FitCacheEntries > 0 {
+		s.fitCache = cachetable.New(opts.FitCacheEntries)
+	}
 	return s, nil
+}
+
+// FitnessCacheGet looks a candidate up in the cross-generation fitness
+// cache by its whole-mapping fingerprint (portmap.Mapping.FingerprintAll)
+// and returns the memoized Davg. The volume is not stored: it is an
+// exact integer recomputed in O(#µops) by the caller (Mapping.Volume),
+// far cheaper than one throughput prediction. Lookups are counted in
+// CacheStats.FitCacheHits/FitCacheMisses; with the cache disabled every
+// lookup is a (free, uncounted) miss.
+func (s *Service) FitnessCacheGet(fp uint64) (float64, bool) {
+	if s.fitCache == nil {
+		return 0, false
+	}
+	if fp == 0 {
+		fp = 1 // FingerprintAll never returns 0, but keep the key contract local
+	}
+	v, ok := s.fitCache.Get(fp)
+	if !ok {
+		s.fitMisses.Add(1)
+		return 0, false
+	}
+	s.fitHits.Add(1)
+	return math.Float64frombits(v), true
+}
+
+// FitnessCachePut stores a freshly evaluated candidate's Davg under its
+// whole-mapping fingerprint. The stored float is exactly what a future
+// evaluation would produce, so a later hit is bit-identical to
+// re-evaluating.
+func (s *Service) FitnessCachePut(fp uint64, davg float64) {
+	if s.fitCache == nil {
+		return
+	}
+	if fp == 0 {
+		fp = 1
+	}
+	s.fitCache.Put(fp, math.Float64bits(davg))
 }
 
 // MemoSnapshot returns the memo's live entries for persistence
@@ -410,9 +477,14 @@ func (s *Service) Stats() CacheStats {
 		MemoResizes:             s.memoResizes.Load(),
 		MemoWarmEntries:         int64(s.warmEntries),
 		MemoWarmHits:            s.memoWarmHits.Load(),
+		FitCacheHits:            s.fitHits.Load(),
+		FitCacheMisses:          s.fitMisses.Load(),
 	}
 	if t := s.memo.Load(); t != nil {
 		st.MemoEntries = int64(t.size())
+	}
+	if s.fitCache != nil {
+		st.FitCacheEntries = int64(s.fitCache.Len())
 	}
 	return st
 }
@@ -583,4 +655,49 @@ func (s *Service) EvaluateAll(ms []*portmap.Mapping, out []Fitness) error {
 		out[i] = Fitness{Davg: d, Volume: ms[i].Volume()}
 		return nil
 	})
+}
+
+// BatchEvaluator is a serial batch-evaluation handle with its own private
+// scratch. Where Service.EvaluateAll runs one batch at a time over the
+// shared per-worker scratches, any number of BatchEvaluators may evaluate
+// concurrently against the same Service — each island of an island-model
+// run owns one and evaluates its sub-population on its own goroutine,
+// while still sharing the Service's lock-free throughput memo and
+// cross-generation fitness cache (both are bit-exact pure-function
+// caches, so sharing never changes results). A BatchEvaluator itself is
+// not safe for concurrent use.
+type BatchEvaluator struct {
+	svc *Service
+	sc  evalScratch
+}
+
+// NewBatchEvaluator returns a serial evaluation handle for this Service.
+func (s *Service) NewBatchEvaluator() *BatchEvaluator {
+	return &BatchEvaluator{svc: s}
+}
+
+// EvaluateAll computes the fitness of every mapping in ms serially on the
+// calling goroutine, writing results into out (len(out) must equal
+// len(ms)). Results are bit-identical to Service.EvaluateAll.
+func (b *BatchEvaluator) EvaluateAll(ms []*portmap.Mapping, out []Fitness) error {
+	s := b.svc
+	if len(out) != len(ms) {
+		return fmt.Errorf("engine: output length %d does not match batch length %d", len(out), len(ms))
+	}
+	s.evals.Add(int64(len(ms)))
+	if s.pred == nil {
+		for i, m := range ms {
+			out[i] = Fitness{Davg: s.davgFast(&b.sc, m, nil), Volume: m.Volume()}
+		}
+		s.maybeGrowMemo()
+		return nil
+	}
+	for i, m := range ms {
+		d, err := s.davgGeneric(m, nil)
+		if err != nil {
+			return err
+		}
+		out[i] = Fitness{Davg: d, Volume: m.Volume()}
+	}
+	return nil
 }

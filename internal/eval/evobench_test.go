@@ -1,0 +1,61 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunEvoBenchQuick(t *testing.T) {
+	scale := QuickScale()
+	// Keep the smoke test fast: a small amplified population still
+	// exercises both configurations end to end.
+	scale.Population = 8
+	scale.MaxGenerations = 6
+	scale.Islands = 3
+	res, err := RunEvoBench(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Islands != 3 {
+		t.Errorf("islands = %d, want 3", res.Islands)
+	}
+	if res.Population != 8*evoBenchPopFactor {
+		t.Errorf("population = %d, want %d", res.Population, 8*evoBenchPopFactor)
+	}
+	budget := res.Population * (scale.MaxGenerations + 1)
+	for name, run := range map[string]EvoBenchRun{"single": res.Single, "islands": res.Island} {
+		if run.Evaluations < res.Population || run.Evaluations > budget {
+			t.Errorf("%s: %d evaluations outside [population, budget] = [%d, %d]",
+				name, run.Evaluations, res.Population, budget)
+		}
+		if run.Seconds <= 0 {
+			t.Errorf("%s: non-positive wall time %v", name, run.Seconds)
+		}
+		if run.BestError < 0 || run.BestVolume <= 0 {
+			t.Errorf("%s: implausible result Davg=%v V=%d", name, run.BestError, run.BestVolume)
+		}
+	}
+	// The single run is the pre-island configuration: no fitness cache.
+	if res.Single.FitCacheHits != 0 || res.Single.FitCacheMisses != 0 {
+		t.Errorf("single run used the fitness cache: %d/%d",
+			res.Single.FitCacheHits, res.Single.FitCacheMisses)
+	}
+	// The island run has it on: every evaluated candidate is at least a
+	// recorded miss.
+	if res.Island.FitCacheHits+res.Island.FitCacheMisses == 0 {
+		t.Error("island run never touched the fitness cache")
+	}
+	out := res.Render()
+	if !strings.Contains(out, "single") || !strings.Contains(out, "islands") ||
+		!strings.Contains(out, "speedup") {
+		t.Errorf("render missing rows:\n%s", out)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "\n") != 3 {
+		t.Errorf("CSV line count wrong:\n%s", buf.String())
+	}
+}

@@ -60,12 +60,15 @@ func RunPipeline(procName string, scale Scale) (*PipelineRun, error) {
 	cfg := core.DefaultConfig(proc.Config.NumPorts)
 	cfg.PortNames = proc.PortNames
 	cfg.Evo = evo.Options{
-		PopulationSize:  scale.Population,
-		MaxGenerations:  scale.MaxGenerations,
-		NumPorts:        proc.Config.NumPorts,
-		LocalSearch:     true,
-		VolumeObjective: true,
-		Seed:            scale.Seed,
+		PopulationSize:    scale.Population,
+		MaxGenerations:    scale.MaxGenerations,
+		NumPorts:          proc.Config.NumPorts,
+		LocalSearch:       true,
+		VolumeObjective:   true,
+		Seed:              scale.Seed,
+		Islands:           scale.Islands,
+		MigrationInterval: scale.MigrationInterval,
+		MigrationCount:    scale.MigrationCount,
 	}
 
 	res, err := core.Infer(sub, measure.SubsetMeasurer{H: h, IDs: ids}, cfg)

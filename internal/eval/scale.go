@@ -46,6 +46,16 @@ type Scale struct {
 	Figure8Reps        int
 	// IthemalBlocks is the training set size of the learned baseline.
 	IthemalBlocks int
+	// Islands shards the evolutionary population into concurrently
+	// evolving sub-populations with ring migration (see
+	// evo.Options.Islands). 0 keeps the single-population algorithm —
+	// the zero value reproduces historical runs bit-exactly.
+	Islands int
+	// MigrationInterval and MigrationCount configure the island
+	// exchange (see evo.Options; zero values select the evo defaults).
+	// Ignored with Islands <= 1.
+	MigrationInterval int
+	MigrationCount    int
 	// Seed derives all pseudo-random choices.
 	Seed int64
 }

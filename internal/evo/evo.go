@@ -23,7 +23,25 @@
 //
 // Fitness evaluation — the dominant cost of the algorithm — is delegated
 // to internal/engine's batched, parallel fitness service; this package
-// contains no worker-pool code of its own.
+// contains no worker-pool code of its own beyond distributing islands
+// over engine.ForEachWorker.
+//
+// # Island model
+//
+// With Options.Islands > 1 the population is sharded into sub-populations
+// ("islands") that run the algorithm above independently and
+// concurrently, each on its own goroutine with its own deterministic RNG
+// stream split from Options.Seed. Every Options.MigrationInterval
+// generations the islands exchange individuals on a ring: island k's
+// best Options.MigrationCount individuals (cloned) replace island
+// (k+1 mod N)'s worst. All islands share one engine.Service — and with
+// it the lock-free throughput memo and the cross-generation fitness
+// cache — through per-island engine.BatchEvaluator handles. Because
+// islands only interact at epoch barriers (migration is applied
+// serially, collect-then-apply) and every shared cache is a bit-exact
+// memo of a pure function, a fixed Seed and a fixed Islands produce
+// bit-identical results regardless of Workers or goroutine scheduling;
+// Islands <= 1 reproduces the single-population algorithm bit-exactly.
 package evo
 
 import (
@@ -74,8 +92,36 @@ type Options struct {
 	// for accuracy (see the ablation tests).
 	AccuracyWeight float64
 	// Workers is the number of parallel fitness evaluation goroutines
-	// (0: GOMAXPROCS).
+	// (0: GOMAXPROCS). Workers are shared across islands, not
+	// per-island: with Islands <= 1 each generation's batch fans out
+	// over Workers goroutines; with Islands > 1 each island evaluates
+	// serially on its own goroutine and the islands themselves are
+	// distributed over min(Workers, Islands) goroutines — total
+	// parallelism never exceeds Workers either way, and the value never
+	// affects results (see Islands).
 	Workers int
+	// Islands shards the population into this many sub-populations of
+	// PopulationSize/Islands individuals (remainder spread over the
+	// first islands) that evolve concurrently, each on its own RNG
+	// stream split deterministically from Seed, exchanging individuals
+	// on a ring every MigrationInterval generations. Determinism
+	// contract: a fixed Seed and a fixed Islands give bit-identical
+	// results regardless of Workers or goroutine scheduling (pinned by
+	// test), and Islands <= 1 reproduces the single-population
+	// algorithm bit-exactly. Clamped so every island holds at least 2
+	// individuals (Islands <= 0 -> 1, Islands > PopulationSize/2 ->
+	// PopulationSize/2).
+	Islands int
+	// MigrationInterval is the epoch length: the number of generations
+	// each island evolves between ring migrations (0: default 5;
+	// negative: migration off). Ignored with Islands <= 1.
+	MigrationInterval int
+	// MigrationCount is the number of emigrants each island sends to
+	// its ring successor per migration — its best individuals, cloned,
+	// replacing the receiver's worst. 0 selects 1; values >= the
+	// smallest island population are capped one below it; negative
+	// disables migration.
+	MigrationCount int
 	// Engine selects the throughput engine used for fitness evaluation.
 	// nil selects the engine package's zero-allocation bottleneck fast
 	// path (§4.5); any other engine.Predictor (e.g. the LP reference)
@@ -88,8 +134,21 @@ type Options struct {
 	// and the incremental (delta) scoring of local-search probes — each
 	// probe is scored by a full evaluation instead. Results are
 	// bit-identical either way (pinned by test); the knob exists for
-	// benchmarking and debugging.
+	// benchmarking and debugging. Also forces FitnessCacheEntries off.
 	DisableCache bool
+	// FitnessCacheEntries bounds the engine's cross-generation fitness
+	// cache (whole-mapping fingerprint -> Davg, slots rounded up to a
+	// power of two): recurring candidates across generations — and
+	// across islands — skip evaluation entirely, where the
+	// per-generation duplicate skip only primes from the surviving
+	// population. 0 selects the default (2^16 slots); negative disables
+	// the cache. Hits return the exact floats a fresh evaluation would
+	// produce, so Best/History are bit-identical either way (pinned by
+	// test); only Result.FitnessEvaluations shrinks with the work
+	// skipped (and, with Islands > 1, may vary slightly across
+	// schedules as islands race to insert the same key — values never
+	// do). Forced off by DisableCache.
+	FitnessCacheEntries int
 	// ConvergenceEps terminates evolution when the spread of Davg in the
 	// selected population falls below it and all volumes agree.
 	ConvergenceEps float64
@@ -189,24 +248,6 @@ func Run(set *exp.Set, opts Options) (*Result, error) {
 	if opts.ConvergenceEps <= 0 {
 		opts.ConvergenceEps = 1e-9
 	}
-
-	rng := rand.New(rand.NewSource(opts.Seed))
-	memoEntries := 0
-	if opts.DisableCache {
-		memoEntries = -1
-	}
-	svc, err := engine.NewService(set, engine.ServiceOptions{
-		Workers:     opts.Workers,
-		Predictor:   opts.Engine,
-		MemoEntries: memoEntries,
-		MemoWarm:    opts.MemoWarm,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("evo: %w", err)
-	}
-
-	p := opts.PopulationSize
-	pop := make([]individual, 0, 2*p)
 	for _, sm := range opts.SeedMappings {
 		if sm.NumInsts() != set.NumInsts || sm.NumPorts != opts.NumPorts {
 			return nil, fmt.Errorf("evo: seed mapping dimensions %dx%d do not match %dx%d",
@@ -215,6 +256,128 @@ func Run(set *exp.Set, opts Options) (*Result, error) {
 		if err := sm.Validate(); err != nil {
 			return nil, fmt.Errorf("evo: invalid seed mapping: %w", err)
 		}
+	}
+
+	memoEntries := 0
+	fitEntries := opts.FitnessCacheEntries
+	if fitEntries == 0 {
+		fitEntries = defaultFitCacheEntries
+	}
+	if fitEntries < 0 || opts.DisableCache {
+		fitEntries = 0
+	}
+	if opts.DisableCache {
+		memoEntries = -1
+	}
+	svc, err := engine.NewService(set, engine.ServiceOptions{
+		Workers:         opts.Workers,
+		Predictor:       opts.Engine,
+		MemoEntries:     memoEntries,
+		MemoWarm:        opts.MemoWarm,
+		FitCacheEntries: fitEntries,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("evo: %w", err)
+	}
+
+	plan := planIslands(opts)
+	var best individual
+	res := &Result{}
+	if plan.islands == 1 {
+		best, err = runSingle(set, opts, svc, res)
+	} else {
+		best, err = runIslands(set, opts, svc, plan, res)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if opts.LocalSearch {
+		best, err = localSearch(svc, best, opts)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.Best = best.m
+	res.BestError = best.davg
+	res.BestVolume = best.volume
+	res.FitnessEvaluations = svc.Evaluations()
+	res.CacheStats = svc.Stats()
+	if opts.SnapshotMemo {
+		res.MemoSnapshot = svc.MemoSnapshot()
+	}
+	return res, nil
+}
+
+// defaultFitCacheEntries sizes the cross-generation fitness cache when
+// Options.FitnessCacheEntries is 0; defaultMigrationInterval is the
+// epoch length when Options.MigrationInterval is 0.
+const (
+	defaultFitCacheEntries   = 1 << 16
+	defaultMigrationInterval = 5
+)
+
+// islandPlan is the clamped island-model geometry of a run (the
+// satellite contract: nonsensical Options values are normalized here,
+// never returned as errors).
+type islandPlan struct {
+	islands  int   // >= 1
+	sizes    []int // per-island population; sums to PopulationSize (nil when islands == 1)
+	interval int   // generations per epoch; 0: migration off
+	count    int   // emigrants per migration; 0: migration off
+}
+
+// planIslands clamps the island-model knobs: Islands <= 0 collapses to
+// 1, Islands too large for PopulationSize is capped so every island
+// holds at least 2 individuals, MigrationCount is capped below the
+// smallest island population, and zero interval/count select defaults.
+func planIslands(opts Options) islandPlan {
+	n := opts.Islands
+	if n <= 0 {
+		n = 1
+	}
+	if max := opts.PopulationSize / 2; n > max {
+		n = max
+	}
+	pl := islandPlan{islands: n}
+	if n == 1 {
+		return pl
+	}
+	base, rem := opts.PopulationSize/n, opts.PopulationSize%n
+	pl.sizes = make([]int, n)
+	for k := range pl.sizes {
+		pl.sizes[k] = base
+		if k < rem {
+			pl.sizes[k]++
+		}
+	}
+	interval := opts.MigrationInterval
+	if interval == 0 {
+		interval = defaultMigrationInterval
+	}
+	count := opts.MigrationCount
+	if count == 0 {
+		count = 1
+	}
+	if count > base-1 {
+		count = base - 1 // base is the smallest island population
+	}
+	if interval < 0 || count < 0 {
+		interval, count = 0, 0
+	}
+	pl.interval, pl.count = interval, count
+	return pl
+}
+
+// runSingle is the single-population algorithm — the pre-island code
+// path, preserved verbatim so that Islands <= 1 consumes the RNG stream
+// identically and reproduces historical fixed-seed runs bit-exactly
+// (pinned by golden test). It returns the fittest individual before
+// local search and fills res.Generations/History.
+func runSingle(set *exp.Set, opts Options, svc *engine.Service, res *Result) (individual, error) {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	p := opts.PopulationSize
+	pop := make([]individual, 0, 2*p)
+	for _, sm := range opts.SeedMappings {
 		if len(pop) < p {
 			pop = append(pop, individual{m: sm.Clone()})
 		}
@@ -234,11 +397,10 @@ func Run(set *exp.Set, opts Options) (*Result, error) {
 	// stay bounded.
 	dedupe := !opts.DisableCache
 	seen := make(map[uint64]engine.Fitness)
-	if err := evaluate(svc, pop, seen, dedupe); err != nil {
-		return nil, err
+	if err := evaluate(svc, svc, pop, seen, dedupe); err != nil {
+		return individual{}, err
 	}
 
-	res := &Result{}
 	for gen := 0; gen < opts.MaxGenerations; gen++ {
 		res.Generations = gen + 1
 
@@ -264,8 +426,8 @@ func Run(set *exp.Set, opts Options) (*Result, error) {
 				seen[pop[i].m.FingerprintAll()] = engine.Fitness{Davg: pop[i].davg, Volume: pop[i].volume}
 			}
 		}
-		if err := evaluate(svc, children, seen, dedupe); err != nil {
-			return nil, err
+		if err := evaluate(svc, svc, children, seen, dedupe); err != nil {
+			return individual{}, err
 		}
 		pop = append(pop, children...)
 
@@ -286,39 +448,269 @@ func Run(set *exp.Set, opts Options) (*Result, error) {
 			break
 		}
 	}
-
-	best := pop[0]
-	if opts.LocalSearch {
-		best, err = localSearch(svc, best, opts)
-		if err != nil {
-			return nil, err
-		}
-	}
-	res.Best = best.m
-	res.BestError = best.davg
-	res.BestVolume = best.volume
-	res.FitnessEvaluations = svc.Evaluations()
-	res.CacheStats = svc.Stats()
-	if opts.SnapshotMemo {
-		res.MemoSnapshot = svc.MemoSnapshot()
-	}
-	return res, nil
+	return pop[0], nil
 }
 
-// evaluate fills in the objectives of all individuals through the
-// engine's batched fitness service. With dedupe enabled, structurally
-// equal candidates — detected by whole-mapping fingerprint, within the
-// batch and against the caller-primed seen map — are evaluated once and
-// the fitness copied (bit-identical: equal mappings have equal fitness).
-// Newly computed fitnesses are added to seen.
-func evaluate(svc *engine.Service, inds []individual, seen map[uint64]engine.Fitness, dedupe bool) error {
+// island is one sub-population of an island-model run. Between epoch
+// barriers an island touches no state outside itself except the shared
+// engine.Service's bit-exact pure-function caches (through its private
+// BatchEvaluator), which is what makes the run scheduling-independent.
+type island struct {
+	idx       int
+	rng       *rand.Rand
+	pop       []individual // sorted best-first after every generation
+	seen      map[uint64]engine.Fitness
+	be        *engine.BatchEvaluator
+	history   []GenStats
+	gens      int
+	inited    bool
+	converged bool
+	err       error
+}
+
+// alive reports whether the island still has evolution budget.
+func (isl *island) alive(maxGens int) bool {
+	return isl.err == nil && isl.gens < maxGens && !isl.converged
+}
+
+// evolve advances the island up to steps generations (first evaluating
+// the initial population if this is the island's first epoch), running
+// the same generation loop as runSingle on the island's private RNG and
+// population. Called concurrently across islands; errors are parked in
+// isl.err for the coordinator.
+func (isl *island) evolve(steps int, set *exp.Set, svc *engine.Service, opts Options, dedupe bool) {
+	if isl.err != nil {
+		return
+	}
+	if !isl.inited {
+		if err := evaluate(svc, isl.be, isl.pop, isl.seen, dedupe); err != nil {
+			isl.err = err
+			return
+		}
+		isl.inited = true
+	}
+	p := len(isl.pop)
+	for s := 0; s < steps && isl.gens < opts.MaxGenerations && !isl.converged; s++ {
+		gen := isl.gens
+		isl.gens++
+
+		children := make([]individual, 0, p)
+		for len(children) < p {
+			a := isl.pop[isl.rng.Intn(len(isl.pop))].m
+			b := isl.pop[isl.rng.Intn(len(isl.pop))].m
+			c1, c2 := recombine(isl.rng, a, b, set.Individual)
+			if opts.MutationRate > 0 {
+				mutate(isl.rng, c1, opts, set.Individual)
+				mutate(isl.rng, c2, opts, set.Individual)
+			}
+			children = append(children, individual{m: c1})
+			if len(children) < p {
+				children = append(children, individual{m: c2})
+			}
+		}
+		if dedupe {
+			clear(isl.seen)
+			for i := range isl.pop {
+				isl.seen[isl.pop[i].m.FingerprintAll()] = engine.Fitness{Davg: isl.pop[i].davg, Volume: isl.pop[i].volume}
+			}
+		}
+		if err := evaluate(svc, isl.be, children, isl.seen, dedupe); err != nil {
+			isl.err = err
+			return
+		}
+		isl.pop = append(isl.pop, children...)
+		selectBest(isl.pop, p, opts.VolumeObjective, opts.AccuracyWeight)
+		isl.pop = isl.pop[:p]
+
+		best := isl.pop[0]
+		isl.history = append(isl.history, GenStats{
+			Generation: gen,
+			BestError:  best.davg,
+			BestVolume: best.volume,
+			MeanError:  meanError(isl.pop),
+		})
+		if converged(isl.pop, opts.ConvergenceEps) {
+			isl.converged = true
+		}
+	}
+}
+
+// runIslands is the island-model run: plan.islands sub-populations
+// evolving concurrently in epochs of plan.interval generations, with a
+// serial ring migration at every epoch barrier, and a final cross-island
+// selection over the union of the surviving populations. Returns the
+// fittest individual before local search and fills
+// res.Generations/History.
+func runIslands(set *exp.Set, opts Options, svc *engine.Service, plan islandPlan, res *Result) (individual, error) {
+	// Split one RNG stream per island from the master seed: island k's
+	// stream is seeded by the k-th draw, so the layout is a pure
+	// function of (Seed, Islands) — independent of Workers and of which
+	// goroutine runs which island.
+	master := rand.New(rand.NewSource(opts.Seed))
+	isls := make([]*island, plan.islands)
+	for k := range isls {
+		isls[k] = &island{
+			idx:  k,
+			rng:  rand.New(rand.NewSource(master.Int63())),
+			seen: make(map[uint64]engine.Fitness),
+			be:   svc.NewBatchEvaluator(),
+		}
+	}
+	// Seed mappings are distributed round-robin; each island fills the
+	// rest of its population from its own stream.
+	for i, sm := range opts.SeedMappings {
+		isl := isls[i%len(isls)]
+		if len(isl.pop) < plan.sizes[isl.idx] {
+			isl.pop = append(isl.pop, individual{m: sm.Clone()})
+		}
+	}
+	for k, isl := range isls {
+		for len(isl.pop) < plan.sizes[k] {
+			isl.pop = append(isl.pop, individual{m: portmap.Random(isl.rng, portmap.RandomOptions{
+				NumInsts:       set.NumInsts,
+				NumPorts:       opts.NumPorts,
+				ThroughputHint: set.Individual,
+				MaxUops:        opts.MaxUopsPerInst,
+			})})
+		}
+	}
+
+	dedupe := !opts.DisableCache
+	migrating := plan.interval > 0 && plan.count > 0
+	for {
+		alive := 0
+		for _, isl := range isls {
+			if isl.alive(opts.MaxGenerations) {
+				alive++
+			}
+		}
+		if alive == 0 {
+			break
+		}
+		steps := opts.MaxGenerations // no migration: one epoch runs the full budget
+		if migrating {
+			steps = plan.interval
+		}
+		engine.ForEachWorker(len(isls), opts.Workers, func(_, k int) {
+			isls[k].evolve(steps, set, svc, opts, dedupe)
+		})
+		for _, isl := range isls {
+			if isl.err != nil {
+				return individual{}, isl.err
+			}
+		}
+		if !migrating {
+			break
+		}
+		migrate(isls, plan.count, opts.ConvergenceEps)
+	}
+
+	res.Generations, res.History = mergeIslandStats(isls)
+
+	// Final cross-island selection: rank the union of the surviving
+	// populations under one shared normalization, exactly as one
+	// combined generation would be.
+	combined := make([]individual, 0, opts.PopulationSize)
+	for _, isl := range isls {
+		combined = append(combined, isl.pop...)
+	}
+	selectBest(combined, len(combined), opts.VolumeObjective, opts.AccuracyWeight)
+	return combined[0], nil
+}
+
+// migrate performs one ring migration: island k's best count individuals
+// (clones, so islands never share mutable mappings) replace island
+// (k+1 mod N)'s worst. Emigrants are collected from every island before
+// any are applied, so the exchange sees each island's pre-migration
+// population and the result is independent of application order. A
+// converged island keeps donating; receiving immigrants that re-open its
+// fitness spread puts it back into the evolution loop.
+func migrate(isls []*island, count int, eps float64) {
+	n := len(isls)
+	emigrants := make([][]individual, n)
+	for k, isl := range isls {
+		es := make([]individual, 0, count)
+		for j := 0; j < count && j < len(isl.pop); j++ {
+			src := isl.pop[j]
+			es = append(es, individual{m: src.m.Clone(), davg: src.davg, volume: src.volume})
+		}
+		emigrants[k] = es
+	}
+	for k := range isls {
+		dst := isls[(k+1)%n]
+		for j, em := range emigrants[k] {
+			dst.pop[len(dst.pop)-1-j] = em
+		}
+		if dst.converged && !converged(dst.pop, eps) {
+			dst.converged = false
+		}
+	}
+}
+
+// mergeIslandStats folds per-island histories into the Result shape:
+// generation g's BestError/BestVolume is the best over the islands that
+// ran generation g (ties break on volume, then island order), MeanError
+// is the population-weighted mean, and Generations is the longest island
+// run.
+func mergeIslandStats(isls []*island) (int, []GenStats) {
+	gens := 0
+	for _, isl := range isls {
+		if isl.gens > gens {
+			gens = isl.gens
+		}
+	}
+	var hist []GenStats
+	for g := 0; ; g++ {
+		any := false
+		hs := GenStats{Generation: g, BestError: math.Inf(1), BestVolume: math.MaxInt}
+		sumMean, totalPop := 0.0, 0
+		for _, isl := range isls {
+			if g >= len(isl.history) {
+				continue
+			}
+			h := isl.history[g]
+			if h.BestError < hs.BestError || (h.BestError == hs.BestError && h.BestVolume < hs.BestVolume) {
+				hs.BestError, hs.BestVolume = h.BestError, h.BestVolume
+			}
+			sumMean += h.MeanError * float64(len(isl.pop))
+			totalPop += len(isl.pop)
+			any = true
+		}
+		if !any {
+			break
+		}
+		hs.MeanError = sumMean / float64(totalPop)
+		hist = append(hist, hs)
+	}
+	return gens, hist
+}
+
+// batchEvaluator abstracts the two batch-evaluation routes: the Service
+// itself (parallel over Workers, one batch at a time — the
+// single-population path) and a per-island engine.BatchEvaluator
+// (serial, any number concurrent against one Service). Both produce
+// bit-identical fitnesses.
+type batchEvaluator interface {
+	EvaluateAll(ms []*portmap.Mapping, out []engine.Fitness) error
+}
+
+// evaluate fills in the objectives of all individuals through the given
+// batch evaluator. With dedupe enabled, structurally equal candidates —
+// detected by whole-mapping fingerprint, within the batch and against
+// the caller-primed seen map — are evaluated once and the fitness
+// copied (bit-identical: equal mappings have equal fitness), and
+// candidates remembered by the service's cross-generation fitness cache
+// skip evaluation entirely (bit-identical: the cache stores the exact
+// Davg a fresh evaluation would produce). Newly computed fitnesses are
+// added to seen and to the cross-generation cache.
+func evaluate(svc *engine.Service, be batchEvaluator, inds []individual, seen map[uint64]engine.Fitness, dedupe bool) error {
 	if !dedupe {
 		ms := make([]*portmap.Mapping, len(inds))
 		for i := range inds {
 			ms[i] = inds[i].m
 		}
 		fits := make([]engine.Fitness, len(inds))
-		if err := svc.EvaluateAll(ms, fits); err != nil {
+		if err := be.EvaluateAll(ms, fits); err != nil {
 			return err
 		}
 		for i := range inds {
@@ -337,17 +729,23 @@ func evaluate(svc *engine.Service, inds []individual, seen map[uint64]engine.Fit
 		if _, ok := seen[fp]; ok {
 			continue
 		}
-		if _, ok := batch[fp]; !ok {
-			batch[fp] = len(uniq)
-			uniq = append(uniq, inds[i].m)
+		if _, ok := batch[fp]; ok {
+			continue
 		}
+		if davg, ok := svc.FitnessCacheGet(fp); ok {
+			seen[fp] = engine.Fitness{Davg: davg, Volume: inds[i].m.Volume()}
+			continue
+		}
+		batch[fp] = len(uniq)
+		uniq = append(uniq, inds[i].m)
 	}
 	fits := make([]engine.Fitness, len(uniq))
-	if err := svc.EvaluateAll(uniq, fits); err != nil {
+	if err := be.EvaluateAll(uniq, fits); err != nil {
 		return err
 	}
 	for fp, k := range batch {
 		seen[fp] = fits[k]
+		svc.FitnessCachePut(fp, fits[k].Davg)
 	}
 	for i := range inds {
 		f := seen[fps[i]]

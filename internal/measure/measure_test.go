@@ -7,6 +7,8 @@ import (
 	"strings"
 	"testing"
 
+	"pmevo/internal/cachestore"
+	"pmevo/internal/cachetable"
 	"pmevo/internal/isa"
 	"pmevo/internal/machine"
 	"pmevo/internal/portmap"
@@ -827,5 +829,115 @@ func TestKernelCachePeriodHints(t *testing.T) {
 	}
 	if off := plain.CacheStats(); off.SimPeriodHints != 0 {
 		t.Errorf("disabled cache recorded hint traffic: %+v", off)
+	}
+}
+
+// TestPeriodHintDiskRoundTrip pins the persisted half of the hint seam:
+// hints spilled by one process warm-start detection in the next — a
+// "fresh process" (flushed tables) that loads only the hint file reuses
+// the previously detected periods on first contact with each body, with
+// results bit-identical to cold detection. Damaged, missing, or
+// out-of-range hint files degrade to cold detection.
+func TestPeriodHintDiskRoundTrip(t *testing.T) {
+	FlushSimCache()
+	defer FlushSimCache()
+	proc := uarch.SKL()
+	var es []portmap.Experiment
+	for i := 0; i < 6; i++ {
+		es = append(es, portmap.Experiment{{Inst: proc.ISA.Form(i).ID, Count: 1}})
+	}
+	opts := DefaultOptions()
+	opts.Seed = 23
+	measureAll := func() ([]float64, CacheStats) {
+		h, err := NewHarness(proc, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := h.MeasureAll(es)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got, h.CacheStats()
+	}
+
+	want, coldStats := measureAll()
+	if coldStats.SimPeriodHints != 0 {
+		t.Fatalf("first-contact run reported %d hint hits", coldStats.SimPeriodHints)
+	}
+	path := filepath.Join(t.TempDir(), "period-hints.pmc")
+	if err := SaveHintCache(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Fresh process": both tables empty, only the hint file loaded. The
+	// kernel cache stays cold, so every body re-simulates — now hinted.
+	FlushSimCache()
+	loaded, reason := LoadHintCache(path)
+	if loaded == 0 {
+		t.Fatalf("loaded no hints (reason %q)", reason)
+	}
+	got, warmStats := measureAll()
+	for i := range es {
+		if got[i] != want[i] {
+			t.Errorf("experiment %d: hint-warmed %v != cold %v", i, got[i], want[i])
+		}
+	}
+	// The kernel cache itself stayed cold: its only hits are the same
+	// within-batch body aliases the cold run had (the hint file feeds
+	// only the hint table).
+	if warmStats.SimHits != coldStats.SimHits || warmStats.SimWarmHits != 0 {
+		t.Errorf("kernel-cache traffic changed after hint load: warm %+v vs cold %+v", warmStats, coldStats)
+	}
+	if warmStats.SimPeriodHints == 0 {
+		t.Error("disk-loaded hints never engaged on first contact")
+	}
+
+	// Damaged or missing files must degrade to cold detection, results
+	// unchanged.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(name string, mutate func() error) {
+		t.Run(name, func(t *testing.T) {
+			if err := mutate(); err != nil {
+				t.Fatal(err)
+			}
+			FlushSimCache()
+			loaded, reason := LoadHintCache(path)
+			if loaded != 0 || reason == "" {
+				t.Fatalf("damaged hint file loaded %d entries (reason %q)", loaded, reason)
+			}
+			got, stats := measureAll()
+			for i := range es {
+				if got[i] != want[i] {
+					t.Errorf("experiment %d: after failed load %v != cold %v", i, got[i], want[i])
+				}
+			}
+			if stats.SimPeriodHints != 0 {
+				t.Errorf("failed load produced %d hint hits", stats.SimPeriodHints)
+			}
+		})
+	}
+	corrupt("truncated", func() error { return os.WriteFile(path, data[:len(data)/2], 0o644) })
+	corrupt("bit-flipped", func() error {
+		b := append([]byte(nil), data...)
+		b[len(b)/2] ^= 0x40
+		return os.WriteFile(path, b, 0o644)
+	})
+	corrupt("missing", func() error { return os.Remove(path) })
+
+	// A well-formed file whose values are outside the valid period range
+	// (a collision artifact, or a file written by a buggy producer) seeds
+	// nothing.
+	if err := cachestore.Save(path, cachestore.SchemaPeriodHints, hintCacheContentKey, []cachetable.Entry{
+		{Key: 12345, Val: 1},                 // periods must exceed one iteration
+		{Key: 67890, Val: maxPeriodHint + 5}, // absurdly large
+	}); err != nil {
+		t.Fatal(err)
+	}
+	FlushSimCache()
+	if loaded, reason := LoadHintCache(path); loaded != 0 || reason == "" {
+		t.Fatalf("out-of-range hints loaded %d entries (reason %q)", loaded, reason)
 	}
 }

@@ -69,8 +69,18 @@ const simHintEntries = 1 << 12
 // passed back as a detection hint, so the re-run skips most detection
 // hashing (machine.SteadyStateCyclesHinted). Hints affect only cost,
 // never results: a stale or colliding hint at worst delays detection.
-// Not persisted to disk — hints are one detection pass to rediscover.
+// Persisted next to the kernel cache spill (LoadHintCache/SaveHintCache,
+// wired into WarmStartSimCache/SpillSimCache), so cross-process reruns
+// skip detection hashing on first contact with a body too; values read
+// back from disk pass through the same > 1 && <= maxPeriodHint gate as
+// live table reads, so a corrupt record degrades to cold detection.
 var sharedHintCache = cachetable.New(simHintEntries)
+
+// hintCacheContentKey tags the on-disk period-hint spill ("pmevohnt").
+// As with the kernel cache, each entry's own key carries the machine
+// fingerprint, so a hint file from a different simulator configuration
+// never hits.
+const hintCacheContentKey = 0x706d65766f686e74
 
 // warmSimKeys is the set of keys seeded from disk by LoadSimCache, used
 // to attribute hits to the warm start (CacheStats.SimWarmHits). The map
@@ -152,6 +162,47 @@ func SaveSimCache(path string) error {
 // a tool's -cache-dir.
 func SimCachePath(dir string) string { return filepath.Join(dir, "simcache.pmc") }
 
+// HintCachePath returns the conventional period-hint spill file inside
+// a tool's -cache-dir (written and read alongside the kernel cache).
+func HintCachePath(dir string) string { return filepath.Join(dir, "period-hints.pmc") }
+
+// LoadHintCache warm-starts the per-body period-hint table from the
+// spill file at path, returning the number of hints seeded and, when
+// nothing was loaded, a diagnostic reason. Like LoadSimCache it never
+// fails into a result path: a missing, truncated, corrupt, or
+// mismatched file — or one whose values are outside the valid period
+// range — seeds nothing, and detection runs cold. Hints only gate which
+// iterations detection hashes, so even an adversarial file cannot
+// change measurement results, only delay detection.
+func LoadHintCache(path string) (loaded int, reason string) {
+	entries, reason := cachestore.Load(path, cachestore.SchemaPeriodHints, hintCacheContentKey)
+	if len(entries) == 0 {
+		return 0, reason
+	}
+	// Drop out-of-range values at the door (the read path re-checks, so
+	// this only keeps garbage from occupying slots).
+	valid := entries[:0]
+	for _, e := range entries {
+		if e.Val > 1 && e.Val <= maxPeriodHint {
+			valid = append(valid, e)
+		}
+	}
+	if len(valid) == 0 {
+		return 0, "no hint in valid period range"
+	}
+	simCacheMu.Lock()
+	defer simCacheMu.Unlock()
+	return sharedHintCache.LoadEntries(valid), reason
+}
+
+// SaveHintCache atomically spills the period-hint table to path. Same
+// quiesce-point contract as SaveSimCache.
+func SaveHintCache(path string) error {
+	simCacheMu.Lock()
+	defer simCacheMu.Unlock()
+	return cachestore.SaveTable(path, cachestore.SchemaPeriodHints, hintCacheContentKey, sharedHintCache)
+}
+
 // WarmStartSimCache loads the kernel-cache spill from a tool's
 // -cache-dir and reports the outcome — including why a load seeded
 // nothing — through logf (fmt.Printf-style, typically the tool's
@@ -163,6 +214,12 @@ func WarmStartSimCache(dir string, logf func(format string, args ...any)) {
 	} else {
 		logf("kernel cache cold start (%s)", reason)
 	}
+	hintPath := HintCachePath(dir)
+	if loaded, reason := LoadHintCache(hintPath); loaded > 0 {
+		logf("warm-started period hints: %d entries from %s", loaded, hintPath)
+	} else {
+		logf("period hints cold start (%s)", reason)
+	}
 }
 
 // SpillSimCache saves the kernel cache into a tool's -cache-dir,
@@ -172,9 +229,15 @@ func SpillSimCache(dir string, logf func(format string, args ...any)) {
 	path := SimCachePath(dir)
 	if err := SaveSimCache(path); err != nil {
 		logf("spill kernel cache: %v", err)
-		return
+	} else {
+		logf("spilled kernel cache to %s", path)
 	}
-	logf("spilled kernel cache to %s", path)
+	hintPath := HintCachePath(dir)
+	if err := SaveHintCache(hintPath); err != nil {
+		logf("spill period hints: %v", err)
+	} else {
+		logf("spilled period hints to %s", hintPath)
+	}
 }
 
 // simKey hashes one steady-state simulation request into its canonical

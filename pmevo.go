@@ -79,8 +79,17 @@ type Config = core.Config
 // Result is the outcome of an inference run.
 type Result = core.Result
 
-// EvoOptions configures the evolutionary algorithm inside Config.
+// EvoOptions configures the evolutionary algorithm inside Config. Set
+// Islands > 1 to shard the population into concurrently evolving
+// sub-populations with periodic ring migration; with a fixed Seed the
+// result is reproducible regardless of Workers, and Islands <= 1
+// reproduces the single-population algorithm bit-exactly.
 type EvoOptions = evo.Options
+
+// CacheStats reports the fitness engine's cache activity after a run:
+// the per-experiment throughput memo and the cross-generation fitness
+// cache (see Result.Evo.CacheStats).
+type CacheStats = engine.CacheStats
 
 // VirtualProcessor is one of the simulated evaluation machines
 // (SKL, ZEN, A72).
