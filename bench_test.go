@@ -10,6 +10,7 @@
 package pmevo_test
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -42,7 +43,7 @@ func BenchmarkFigure6(b *testing.B) {
 	scale := eval.QuickScale()
 	scale.Figure6MaxLen = 6
 	for i := 0; i < b.N; i++ {
-		if _, err := eval.RunFigure6(scale); err != nil {
+		if _, err := eval.RunFigure6(context.Background(), scale); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -61,7 +62,7 @@ var (
 func benchSuite(b *testing.B) *eval.Suite {
 	b.Helper()
 	suiteOnce.Do(func() {
-		suiteVal, suiteErr = eval.NewSuite(eval.QuickScale(), nil)
+		suiteVal, suiteErr = eval.NewSuite(context.Background(), eval.QuickScale(), nil)
 	})
 	if suiteErr != nil {
 		b.Fatal(suiteErr)
@@ -83,7 +84,7 @@ func BenchmarkTable3(b *testing.B) {
 	s := benchSuite(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		acc, err := s.Accuracy(nil)
+		acc, err := s.Accuracy(context.Background(), nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -97,7 +98,7 @@ func BenchmarkTable4(b *testing.B) {
 	s := benchSuite(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		acc, err := s.Accuracy(nil)
+		acc, err := s.Accuracy(context.Background(), nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -111,7 +112,7 @@ func BenchmarkFigure7(b *testing.B) {
 	s := benchSuite(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		acc, err := s.Accuracy(nil)
+		acc, err := s.Accuracy(context.Background(), nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -263,7 +264,7 @@ func benchFitnessEvolution(b *testing.B, disableCache bool) {
 	b.ResetTimer()
 	evals := 0
 	for i := 0; i < b.N; i++ {
-		res, err := evo.Run(set, opts)
+		res, err := evo.Run(context.Background(), set, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -282,7 +283,7 @@ func ablationSet(b *testing.B) *exp.Set {
 	b.Helper()
 	rng := rand.New(rand.NewSource(5))
 	hidden := portmap.Random(rng, portmap.RandomOptions{NumInsts: 12, NumPorts: 8, MaxUops: 2})
-	set, err := exp.GenerateAndMeasure(oracleMeasurer{hidden}, 12)
+	set, err := exp.GenerateAndMeasure(context.Background(), oracleMeasurer{hidden}, 12)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -310,7 +311,7 @@ func BenchmarkAblationBaselineEA(b *testing.B) {
 	set := ablationSet(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := evo.Run(set, ablationOpts()); err != nil {
+		if _, err := evo.Run(context.Background(), set, ablationOpts()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -322,7 +323,7 @@ func BenchmarkAblationMutation(b *testing.B) {
 	opts.MutationRate = 0.1 // the paper rejects mutation; measure its cost
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := evo.Run(set, opts); err != nil {
+		if _, err := evo.Run(context.Background(), set, opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -334,7 +335,7 @@ func BenchmarkAblationNoLocalSearch(b *testing.B) {
 	opts.LocalSearch = false
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := evo.Run(set, opts); err != nil {
+		if _, err := evo.Run(context.Background(), set, opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -346,7 +347,7 @@ func BenchmarkAblationNoVolumeObjective(b *testing.B) {
 	opts.VolumeObjective = false
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := evo.Run(set, opts); err != nil {
+		if _, err := evo.Run(context.Background(), set, opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -363,7 +364,7 @@ func BenchmarkAblationCongruence(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	set, err := exp.GenerateAndMeasure(measure.SubsetMeasurer{H: h, IDs: ids}, sub.NumForms())
+	set, err := exp.GenerateAndMeasure(context.Background(), measure.SubsetMeasurer{H: h, IDs: ids}, sub.NumForms())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -378,7 +379,7 @@ func BenchmarkAblationCongruence(b *testing.B) {
 			Seed:            1,
 		}
 		for i := 0; i < b.N; i++ {
-			if _, err := evo.Run(s, opts); err != nil {
+			if _, err := evo.Run(context.Background(), s, opts); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -464,7 +465,7 @@ func benchMeasurement(b *testing.B, baseline bool) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := exp.GenerateAndMeasure(measure.SubsetMeasurer{H: h, IDs: ids}, sub.NumForms()); err != nil {
+		if _, err := exp.GenerateAndMeasure(context.Background(), measure.SubsetMeasurer{H: h, IDs: ids}, sub.NumForms()); err != nil {
 			b.Fatal(err)
 		}
 		measurements += h.Measurements()

@@ -38,6 +38,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -49,6 +50,7 @@ import (
 
 	"pmevo/internal/engine"
 	"pmevo/internal/eval"
+	"pmevo/internal/lifecycle"
 	"pmevo/internal/measure"
 )
 
@@ -99,10 +101,19 @@ func main() {
 	// for. Load never fails into results — a missing or damaged file
 	// just cold-starts (the fitness memo is handled set-locally inside
 	// RunFitnessBench).
+	ctx := context.Background()
 	if *cacheDir != "" {
 		measure.WarmStartSimCache(*cacheDir, logf)
 		spillOnExit = func() { measure.SpillSimCache(*cacheDir, logf) }
 		defer spillOnExit()
+		// SIGINT/SIGTERM spill the caches before exiting (mirroring the
+		// fatalf path): a benchmark run has no resumable state, but the
+		// simulation work it paid for should survive the interruption.
+		stopSignals := lifecycle.OnSignalSpill(func() {
+			logf("interrupted; spilling caches")
+			spillOnExit()
+		})
+		defer stopSignals()
 	}
 
 	// Per-driver attribution of the shared kernel cache (the cache is
@@ -168,7 +179,7 @@ func main() {
 	if want["fitness"] {
 		progress("running fitness-evaluation benchmark (cached vs uncached)")
 		start := time.Now()
-		res, err := eval.RunFitnessBench(scale, *cacheDir)
+		res, err := eval.RunFitnessBench(ctx, scale, *cacheDir)
 		if err != nil {
 			fatalf("fitness: %v", err)
 		}
@@ -193,7 +204,7 @@ func main() {
 	if want["measure"] {
 		progress("running measurement benchmark (fast path vs brute-force simulation)")
 		start := time.Now()
-		res, err := eval.RunMeasureBench(scale, *cacheDir)
+		res, err := eval.RunMeasureBench(ctx, scale, *cacheDir)
 		if err != nil {
 			fatalf("measure: %v", err)
 		}
@@ -244,7 +255,7 @@ func main() {
 	if want["evo"] {
 		progress("running evolution-loop benchmark (island model vs single population)")
 		start := time.Now()
-		res, err := eval.RunEvoBench(scale)
+		res, err := eval.RunEvoBench(ctx, scale)
 		if err != nil {
 			fatalf("evo: %v", err)
 		}
@@ -271,7 +282,7 @@ func main() {
 	if want["figure6"] {
 		progress("running Figure 6 sweep")
 		start := time.Now()
-		res, err := eval.RunFigure6(scale)
+		res, err := eval.RunFigure6(ctx, scale)
 		if err != nil {
 			fatalf("figure 6: %v", err)
 		}
@@ -287,7 +298,7 @@ func main() {
 
 	if want["table2"] || want["table3"] || want["table4"] || want["figure7"] {
 		suiteStart := time.Now()
-		suite, err := eval.NewSuite(scale, progress)
+		suite, err := eval.NewSuite(ctx, scale, progress)
 		if err != nil {
 			fatalf("pipeline suite: %v", err)
 		}
@@ -305,7 +316,7 @@ func main() {
 		}
 		if want["table3"] || want["table4"] || want["figure7"] {
 			accStart := time.Now()
-			acc, err := suite.Accuracy(progress)
+			acc, err := suite.Accuracy(ctx, progress)
 			if err != nil {
 				fatalf("accuracy: %v", err)
 			}
@@ -341,7 +352,7 @@ func main() {
 	if want["ablation"] {
 		progress("running experiment-design ablation")
 		start := time.Now()
-		res, err := eval.RunExperimentDesignAblation(scale, 3)
+		res, err := eval.RunExperimentDesignAblation(ctx, scale, 3)
 		if err != nil {
 			fatalf("ablation: %v", err)
 		}

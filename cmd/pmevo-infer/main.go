@@ -12,13 +12,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"pmevo/internal/eval"
+	"pmevo/internal/evo"
 	"pmevo/internal/export"
+	"pmevo/internal/lifecycle"
 	"pmevo/internal/measure"
 	"pmevo/internal/portmap"
 	"pmevo/internal/throughput"
@@ -40,6 +43,14 @@ func main() {
 	formsPerClass := flag.Int("forms-per-class", 3, "instruction forms per semantic class (0: all forms)")
 	cacheDir := flag.String("cache-dir", "",
 		"directory for the persistent kernel-simulation cache; loaded before measurement, spilled on success")
+	deadline := flag.Duration("deadline", 0,
+		"abort the run after this duration, checkpointing first (0 or negative: no deadline)")
+	checkpointDir := flag.String("checkpoint-dir", "",
+		"directory for crash-safe evolution checkpoints; a deadline, SIGINT or SIGTERM spills the search state here for -resume")
+	checkpointInterval := flag.Int("checkpoint-interval", 0,
+		"generations between periodic checkpoints (0: default of 10; negative: only at migration barriers and interruption); ignored without -checkpoint-dir")
+	resume := flag.Bool("resume", false,
+		"resume the evolutionary search from the checkpoint in -checkpoint-dir (cold-starts with a diagnostic if absent or unusable)")
 	seed := flag.Int64("seed", 1, "random seed")
 	verbose := flag.Bool("v", false, "print the mapping and a port usage table to stderr")
 	flag.Parse()
@@ -51,7 +62,21 @@ func main() {
 	scale.Islands = *islands
 	scale.MigrationInterval = *migrationInterval
 	scale.MigrationCount = *migrationCount
+	scale.CheckpointDir = *checkpointDir
+	scale.CheckpointInterval = *checkpointInterval
+	scale.Resume = *resume
+	scale.Log = logf
 	scale.Seed = *seed
+
+	if *resume && *checkpointDir == "" {
+		fatalf("-resume requires -checkpoint-dir")
+	}
+
+	// SIGINT/SIGTERM and -deadline cancel the root context; the pipeline
+	// checkpoints at the next generation boundary and returns its best
+	// partial result with a typed interruption error.
+	ctx, stopSignals := lifecycle.SignalContext(context.Background(), *deadline)
+	defer stopSignals()
 
 	// Warm-start the kernel-simulation cache from a previous invocation:
 	// measurement dominates inference wall time, and the noiseless
@@ -72,8 +97,24 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "[pmevo-infer] inferring port mapping for %s "+
 		"(population %d, max %d generations, %s)\n", *procName, *population, *generations, layout)
-	run, err := eval.RunPipeline(*procName, scale)
+	run, err := eval.RunPipeline(ctx, *procName, scale)
 	if err != nil {
+		if evo.Interrupted(err) {
+			// The search already checkpointed (with -checkpoint-dir) and
+			// the partial mapping is deliberately NOT written: an
+			// interrupted run must never be mistaken for a finished one.
+			// Exit code 3 distinguishes interruption from failure (1).
+			if *cacheDir != "" {
+				measure.SpillSimCache(*cacheDir, logf)
+			}
+			logf("interrupted: %v", err)
+			if *checkpointDir != "" {
+				logf("run state checkpointed; rerun with -resume -checkpoint-dir %s to continue", *checkpointDir)
+			} else {
+				logf("no -checkpoint-dir; progress is lost")
+			}
+			os.Exit(3)
+		}
 		fatalf("%v", err)
 	}
 	res := run.Result

@@ -28,6 +28,7 @@ import (
 
 	"pmevo/internal/engine"
 	"pmevo/internal/espec"
+	"pmevo/internal/lifecycle"
 	"pmevo/internal/measure"
 	"pmevo/internal/portmap"
 	"pmevo/internal/throughput"
@@ -116,6 +117,14 @@ func main() {
 		}
 		if *cacheDir != "" {
 			measure.WarmStartSimCache(*cacheDir, logf)
+			// SIGINT/SIGTERM between warm-start and the normal spill
+			// persists whatever simulations completed (mirroring
+			// pmevo-bench's spill-on-signal path).
+			stopSignals := lifecycle.OnSignalSpill(func() {
+				logf("interrupted; spilling kernel cache")
+				measure.SpillSimCache(*cacheDir, logf)
+			})
+			defer stopSignals()
 		}
 		full := make(portmap.Experiment, len(e))
 		for i, t := range e {

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -41,7 +42,7 @@ func main() {
 
 	start := time.Now()
 	fmt.Printf("running the PMEvo pipeline on the virtual %s...\n", *procName)
-	run, err := eval.RunPipeline(*procName, scale)
+	run, err := eval.RunPipeline(context.Background(), *procName, scale)
 	if err != nil {
 		log.Fatal(err)
 	}

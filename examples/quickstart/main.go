@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -66,7 +67,7 @@ func main() {
 	cfg.Progress = func(stage string) { fmt.Println("  »", stage) }
 
 	fmt.Println("inferring a port mapping for the hidden 3-port machine:")
-	res, err := pmevo.Infer(miniISA, oracle{truth}, cfg)
+	res, err := pmevo.Infer(context.Background(), miniISA, oracle{truth}, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -46,7 +47,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	set, err := exp.GenerateAndMeasure(measure.SubsetMeasurer{H: h, IDs: forms}, len(forms))
+	set, err := exp.GenerateAndMeasure(context.Background(), measure.SubsetMeasurer{H: h, IDs: forms}, len(forms))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func main() {
 		Seed:            7,
 		SeedMappings:    []*portmap.Mapping{stale},
 	}
-	res, err := evo.Run(repSet, opts)
+	res, err := evo.Run(context.Background(), repSet, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,15 +4,18 @@
 // measurement harness's kernel-simulation cache and the engine's
 // throughput memo — repeated inference on the same ISA reloads pure,
 // expensively derived values (noiseless steady-state cycles,
-// per-experiment bottleneck throughputs) instead of re-deriving them.
+// per-experiment bottleneck throughputs) instead of re-deriving them —
+// and, since PR 8, the container for evolution checkpoints (opaque
+// blobs under the same framing).
 //
 // The store is safe by construction:
 //
 //   - Load never fails into a result path. A missing, truncated,
-//     bit-flipped, version-mismatched, or foreign file yields an empty
-//     entry list (plus a diagnostic reason) — the consumer simply
-//     cold-starts. Cached values are pure functions of their keys, so a
-//     loaded entry can change timing but never results.
+//     bit-flipped, version-mismatched, or foreign file yields no
+//     entries plus a typed sentinel error (ErrMissing, ErrChecksum,
+//     ...) — the consumer inspects it with errors.Is for logging and
+//     simply cold-starts. Cached values are pure functions of their
+//     keys, so a loaded entry can change timing but never results.
 //   - Files carry a format version, a consumer schema tag, and a
 //     caller-supplied content key (e.g. the fingerprint of the
 //     experiment set a memo was built against); any mismatch reads as
@@ -25,7 +28,10 @@
 //     wrong byte order fails the checksum.
 //   - Save writes a temp file in the target directory and renames it
 //     into place, so a crashed or concurrent writer never leaves a
-//     partially-written file under the final name.
+//     partially-written file under the final name. The write and the
+//     rename go through internal/faultfs, the fault-injection seam the
+//     tests use to simulate crash-between-write-and-rename, torn
+//     writes, and ENOSPC.
 //   - Size is bounded: Save truncates to MaxFileEntries and Load
 //     refuses counts beyond it, so a corrupt count cannot drive a huge
 //     allocation. Reloading into a bounded table keeps the existing
@@ -35,19 +41,52 @@ package cachestore
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 
 	"pmevo/internal/cachetable"
+	"pmevo/internal/faultfs"
 )
 
 // Schema tags identify the consumer that wrote a file; a file is only
 // ever loaded by the schema that wrote it.
 const (
-	SchemaSimCache    uint32 = 1 // measure: kernel-simulation cache
-	SchemaFitnessMemo uint32 = 2 // engine: per-experiment throughput memo
-	SchemaPeriodHints uint32 = 3 // measure: per-body steady-state period hints
+	SchemaSimCache      uint32 = 1 // measure: kernel-simulation cache
+	SchemaFitnessMemo   uint32 = 2 // engine: per-experiment throughput memo
+	SchemaPeriodHints   uint32 = 3 // measure: per-body steady-state period hints
+	SchemaEvoCheckpoint uint32 = 4 // evo: checkpoint blob (populations, RNG, counters)
+	SchemaFitnessCache  uint32 = 5 // engine: cross-generation fitness cache
+)
+
+// Typed load diagnostics. Load and LoadBlob return exactly one of
+// these (wrapped with detail via %w) whenever they yield no data; the
+// degrade-to-cold contract is unchanged — these errors exist so callers
+// can log or branch with errors.Is instead of matching strings, never
+// so they can fail a run.
+var (
+	// ErrMissing: no file at the path (a plain cold start).
+	ErrMissing = errors.New("no cache file")
+	// ErrUnreadable: the file exists but could not be read.
+	ErrUnreadable = errors.New("unreadable cache file")
+	// ErrTruncated: fewer bytes than the header or the declared payload.
+	ErrTruncated = errors.New("truncated cache file")
+	// ErrMagic: not a cachestore file at all.
+	ErrMagic = errors.New("not a cachestore file")
+	// ErrVersion: written by an incompatible format version.
+	ErrVersion = errors.New("cache format version mismatch")
+	// ErrSchema: written by a different consumer.
+	ErrSchema = errors.New("cache schema mismatch")
+	// ErrContentKey: built against different inputs.
+	ErrContentKey = errors.New("cache content key mismatch")
+	// ErrTooLarge: declared size exceeds the store's bound.
+	ErrTooLarge = errors.New("cache file exceeds size bound")
+	// ErrChecksum: integrity check failed (corruption or torn write).
+	ErrChecksum = errors.New("cache checksum mismatch")
+	// ErrEmpty: a valid file with nothing in it (a spill taken before
+	// anything was cached) — still a cold start, but a benign one.
+	ErrEmpty = errors.New("empty cache file")
 )
 
 // formatVersion is bumped on any incompatible layout change; old files
@@ -59,6 +98,12 @@ const formatVersion uint32 = 1
 // in-memory table (the kernel cache has 2^16 slots, the memo ceiling is
 // 2^20).
 const MaxFileEntries = 1 << 20
+
+// MaxBlobBytes bounds blob payloads (SaveBlob/LoadBlob) the same way
+// MaxFileEntries bounds entry files: 16 MiB, far above any real
+// checkpoint, small enough that a corrupt length cannot drive a huge
+// allocation.
+const MaxBlobBytes = 1 << 24
 
 // magic identifies a cachestore file. The trailing byte doubles as a
 // little-endian marker: the header words that follow are fixed
@@ -86,20 +131,78 @@ func checksum(bs ...[]byte) uint64 {
 	return h
 }
 
-// encode renders the file image: header, entries, trailing checksum.
-func encode(schema uint32, contentKey uint64, entries []Entry) []byte {
-	buf := make([]byte, 0, headerSize+len(entries)*16+8)
+// encodeFrame renders a file image: header (with count in the count
+// slot), payload bytes, trailing checksum.
+func encodeFrame(schema uint32, contentKey uint64, count uint64, payload []byte) []byte {
+	buf := make([]byte, 0, headerSize+len(payload)+8)
 	buf = append(buf, magic[:]...)
 	buf = binary.LittleEndian.AppendUint32(buf, formatVersion)
 	buf = binary.LittleEndian.AppendUint32(buf, schema)
 	buf = binary.LittleEndian.AppendUint64(buf, contentKey)
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(entries)))
-	for _, e := range entries {
-		buf = binary.LittleEndian.AppendUint64(buf, e.Key)
-		buf = binary.LittleEndian.AppendUint64(buf, e.Val)
-	}
+	buf = binary.LittleEndian.AppendUint64(buf, count)
+	buf = append(buf, payload...)
 	buf = binary.LittleEndian.AppendUint64(buf, checksum(buf))
 	return buf
+}
+
+// writeAtomic lands image at path via temp-file+rename, routing the
+// fallible steps through faultfs so tests can inject crashes.
+func writeAtomic(path string, image []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("cachestore: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".cachestore-*.tmp")
+	if err != nil {
+		return fmt.Errorf("cachestore: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if err := faultfs.WriteFile(tmp, tmp.Name(), image); err != nil {
+		tmp.Close()
+		return fmt.Errorf("cachestore: write %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("cachestore: close %s: %w", tmp.Name(), err)
+	}
+	if err := faultfs.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("cachestore: %w", err)
+	}
+	return nil
+}
+
+// readFrame reads and validates the file at path against (schema,
+// contentKey), returning the count word and the raw payload bytes.
+// Every failure maps to exactly one typed sentinel.
+func readFrame(path string, schema uint32, contentKey uint64) (count uint64, payload []byte, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil, ErrMissing
+		}
+		return 0, nil, fmt.Errorf("%w: %w", ErrUnreadable, err)
+	}
+	if len(data) < headerSize+8 {
+		return 0, nil, fmt.Errorf("%w (short header: %d bytes)", ErrTruncated, len(data))
+	}
+	if [8]byte(data[:8]) != magic {
+		return 0, nil, fmt.Errorf("%w (bad magic)", ErrMagic)
+	}
+	if v := binary.LittleEndian.Uint32(data[8:12]); v != formatVersion {
+		return 0, nil, fmt.Errorf("%w (format version %d, want %d)", ErrVersion, v, formatVersion)
+	}
+	if s := binary.LittleEndian.Uint32(data[12:16]); s != schema {
+		return 0, nil, fmt.Errorf("%w (schema %d, want %d)", ErrSchema, s, schema)
+	}
+	if ck := binary.LittleEndian.Uint64(data[16:24]); ck != contentKey {
+		return 0, nil, fmt.Errorf("%w (cache built against different inputs)", ErrContentKey)
+	}
+	count = binary.LittleEndian.Uint64(data[24:32])
+	payloadLen := len(data) - headerSize - 8
+	body, sum := data[:len(data)-8], binary.LittleEndian.Uint64(data[len(data)-8:])
+	if checksum(body) != sum {
+		return 0, nil, fmt.Errorf("%w (corrupt cache file)", ErrChecksum)
+	}
+	return count, data[headerSize : headerSize+payloadLen], nil
 }
 
 // Save atomically writes the entries for (schema, contentKey) to path,
@@ -112,75 +215,38 @@ func Save(path string, schema uint32, contentKey uint64, entries []Entry) error 
 	if len(entries) > MaxFileEntries {
 		entries = entries[:MaxFileEntries]
 	}
-	dir := filepath.Dir(path)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("cachestore: %w", err)
+	payload := make([]byte, 0, len(entries)*16)
+	for _, e := range entries {
+		payload = binary.LittleEndian.AppendUint64(payload, e.Key)
+		payload = binary.LittleEndian.AppendUint64(payload, e.Val)
 	}
-	tmp, err := os.CreateTemp(dir, ".cachestore-*.tmp")
-	if err != nil {
-		return fmt.Errorf("cachestore: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after successful rename
-	if _, err := tmp.Write(encode(schema, contentKey, entries)); err != nil {
-		tmp.Close()
-		return fmt.Errorf("cachestore: write %s: %w", tmp.Name(), err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("cachestore: close %s: %w", tmp.Name(), err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("cachestore: %w", err)
-	}
-	return nil
+	return writeAtomic(path, encodeFrame(schema, contentKey, uint64(len(entries)), payload))
 }
 
-// Load reads the entries stored at path for (schema, contentKey). It
-// never returns an error: any problem — missing file, truncation,
-// corruption, format/schema/content mismatch — yields a nil entry list
-// and a non-empty diagnostic reason, and the consumer cold-starts. An
-// empty reason means the file was read successfully (possibly with zero
-// entries).
-func Load(path string, schema uint32, contentKey uint64) (entries []Entry, reason string) {
-	data, err := os.ReadFile(path)
+// Load reads the entries stored at path for (schema, contentKey). Any
+// problem — missing file, truncation, corruption, format/schema/content
+// mismatch — yields a nil entry list and a typed diagnostic error (see
+// the Err* sentinels), and the consumer cold-starts; the error is for
+// logging and errors.Is branching, never for failing a run. A nil
+// error means the file was read successfully and carried at least one
+// entry.
+func Load(path string, schema uint32, contentKey uint64) ([]Entry, error) {
+	count, payload, err := readFrame(path, schema, contentKey)
 	if err != nil {
-		if os.IsNotExist(err) {
-			return nil, "no cache file"
-		}
-		return nil, fmt.Sprintf("unreadable cache file: %v", err)
+		return nil, err
 	}
-	if len(data) < headerSize+8 {
-		return nil, "truncated cache file (short header)"
-	}
-	if [8]byte(data[:8]) != magic {
-		return nil, "not a cachestore file (bad magic)"
-	}
-	if v := binary.LittleEndian.Uint32(data[8:12]); v != formatVersion {
-		return nil, fmt.Sprintf("format version %d, want %d", v, formatVersion)
-	}
-	if s := binary.LittleEndian.Uint32(data[12:16]); s != schema {
-		return nil, fmt.Sprintf("schema %d, want %d", s, schema)
-	}
-	if ck := binary.LittleEndian.Uint64(data[16:24]); ck != contentKey {
-		return nil, "content key mismatch (cache built against different inputs)"
-	}
-	count := binary.LittleEndian.Uint64(data[24:32])
 	if count > MaxFileEntries {
-		return nil, fmt.Sprintf("entry count %d exceeds bound %d", count, MaxFileEntries)
+		return nil, fmt.Errorf("%w (entry count %d exceeds bound %d)", ErrTooLarge, count, MaxFileEntries)
 	}
-	want := headerSize + int(count)*16 + 8
-	if len(data) != want {
-		return nil, fmt.Sprintf("truncated cache file (%d bytes, want %d)", len(data), want)
+	if uint64(len(payload)) != count*16 {
+		return nil, fmt.Errorf("%w (%d payload bytes, want %d)", ErrTruncated, len(payload), count*16)
 	}
-	body, sum := data[:len(data)-8], binary.LittleEndian.Uint64(data[len(data)-8:])
-	if checksum(body) != sum {
-		return nil, "checksum mismatch (corrupt cache file)"
-	}
-	entries = make([]Entry, 0, count)
+	entries := make([]Entry, 0, count)
 	for i := 0; i < int(count); i++ {
-		off := headerSize + i*16
+		off := i * 16
 		e := Entry{
-			Key: binary.LittleEndian.Uint64(data[off : off+8]),
-			Val: binary.LittleEndian.Uint64(data[off+8 : off+16]),
+			Key: binary.LittleEndian.Uint64(payload[off : off+8]),
+			Val: binary.LittleEndian.Uint64(payload[off+8 : off+16]),
 		}
 		if e.Key == 0 {
 			continue // never stored by Save; skip rather than poison a table
@@ -190,9 +256,44 @@ func Load(path string, schema uint32, contentKey uint64) (entries []Entry, reaso
 	if len(entries) == 0 {
 		// Valid but empty (a spill taken before anything was cached):
 		// give callers that log empty loads a real diagnostic.
-		return nil, "empty cache file"
+		return nil, ErrEmpty
 	}
-	return entries, ""
+	return entries, nil
+}
+
+// SaveBlob atomically writes an opaque payload (e.g. an evolution
+// checkpoint) under the same framing, integrity checks, and atomic
+// write path as entry files. Payloads beyond MaxBlobBytes are rejected
+// rather than truncated — unlike cache entries, a blob is not
+// droppable-by-parts.
+func SaveBlob(path string, schema uint32, contentKey uint64, payload []byte) error {
+	if len(payload) > MaxBlobBytes {
+		return fmt.Errorf("cachestore: blob %d bytes exceeds bound %d", len(payload), MaxBlobBytes)
+	}
+	return writeAtomic(path, encodeFrame(schema, contentKey, uint64(len(payload)), payload))
+}
+
+// LoadBlob reads a blob written by SaveBlob, with the same
+// degrade-to-cold error contract as Load: a typed sentinel diagnostic
+// and a nil payload on any mismatch or damage. A zero-length blob
+// yields ErrEmpty.
+func LoadBlob(path string, schema uint32, contentKey uint64) ([]byte, error) {
+	count, payload, err := readFrame(path, schema, contentKey)
+	if err != nil {
+		return nil, err
+	}
+	if count > MaxBlobBytes {
+		return nil, fmt.Errorf("%w (blob length %d exceeds bound %d)", ErrTooLarge, count, MaxBlobBytes)
+	}
+	if uint64(len(payload)) != count {
+		return nil, fmt.Errorf("%w (%d payload bytes, want %d)", ErrTruncated, len(payload), count)
+	}
+	if count == 0 {
+		return nil, ErrEmpty
+	}
+	out := make([]byte, count)
+	copy(out, payload)
+	return out, nil
 }
 
 // SaveTable spills a table's live entries. The snapshot must not race
@@ -206,7 +307,7 @@ func SaveTable(path string, schema uint32, contentKey uint64, t *cachetable.Tabl
 // of entries stored and the empty-load diagnostic (see Load). Entries
 // land with overwrite-on-collision semantics, so the table's bound
 // holds regardless of the file's size.
-func LoadTable(path string, schema uint32, contentKey uint64, t *cachetable.Table) (int, string) {
-	entries, reason := Load(path, schema, contentKey)
-	return t.LoadEntries(entries), reason
+func LoadTable(path string, schema uint32, contentKey uint64, t *cachetable.Table) (int, error) {
+	entries, err := Load(path, schema, contentKey)
+	return t.LoadEntries(entries), err
 }

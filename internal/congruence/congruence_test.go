@@ -1,6 +1,7 @@
 package congruence
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -19,7 +20,7 @@ func (mm modelMeasurer) Measure(e portmap.Experiment) (float64, error) {
 // buildSet measures the full §4.1 set for a mapping.
 func buildSet(t *testing.T, m *portmap.Mapping) *exp.Set {
 	t.Helper()
-	set, err := exp.GenerateAndMeasure(modelMeasurer{m}, m.NumInsts())
+	set, err := exp.GenerateAndMeasure(context.Background(), modelMeasurer{m}, m.NumInsts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestPartitionToleratesNoise(t *testing.T) {
 		}
 		return tp, nil
 	}
-	set, err := exp.GenerateAndMeasure(measurerFunc(noisy), 2)
+	set, err := exp.GenerateAndMeasure(context.Background(), measurerFunc(noisy), 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -81,7 +82,17 @@ func (r *Result) CongruentFraction() float64 { return r.Classes.ReductionRatio()
 
 // Infer runs the full PMEvo pipeline for the given ISA against the
 // measurer.
-func Infer(a *isa.ISA, m exp.Measurer, cfg Config) (*Result, error) {
+//
+// Cancellation and deadlines are honored through ctx at every
+// long-running stage. An interruption during measurement or congruence
+// filtering returns a plain error (there is no useful partial pipeline
+// state); an interruption during the evolutionary search returns the
+// typed evo.ErrCanceled/ErrDeadline ALONG WITH a complete Result built
+// from the best mapping found so far — callers check
+// evo.Interrupted(err) and may use or discard the partial result. With
+// cfg.Evo.CheckpointDir set the search also checkpoints, so a later run
+// with cfg.Evo.Resume continues where the interruption hit.
+func Infer(ctx context.Context, a *isa.ISA, m exp.Measurer, cfg Config) (*Result, error) {
 	if a == nil || a.NumForms() == 0 {
 		return nil, errors.New("core: empty ISA")
 	}
@@ -102,8 +113,11 @@ func Infer(a *isa.ISA, m exp.Measurer, cfg Config) (*Result, error) {
 	// Stage 1+2: experiment generation and measurement (§4.1, §4.2).
 	progress("generating and measuring experiments")
 	tMeasure := time.Now()
-	set, err := exp.GenerateAndMeasure(m, a.NumForms())
+	set, err := exp.GenerateAndMeasure(ctx, m, a.NumForms())
 	if err != nil {
+		if evo.Interrupted(err) {
+			return nil, err
+		}
 		return nil, fmt.Errorf("core: measurement failed: %w", err)
 	}
 	measurementTime := time.Since(tMeasure)
@@ -121,12 +135,15 @@ func Infer(a *isa.ISA, m exp.Measurer, cfg Config) (*Result, error) {
 	progress(fmt.Sprintf("evolving port mappings over %d representatives", repSet.NumInsts))
 	evoOpts := cfg.Evo
 	evoOpts.NumPorts = cfg.NumPorts
-	evoRes, err := evo.Run(repSet, evoOpts)
-	if err != nil {
-		return nil, err
+	evoRes, evoErr := evo.Run(ctx, repSet, evoOpts)
+	if evoErr != nil && !(evo.Interrupted(evoErr) && evoRes != nil && evoRes.Best != nil) {
+		return nil, evoErr
 	}
 
-	// Expand the representative mapping to the full ISA.
+	// Expand the representative mapping to the full ISA. An interrupted
+	// search with a partial best expands it exactly like a final one, so
+	// the caller gets a usable (if under-evolved) mapping plus the typed
+	// interruption error.
 	names := make([]string, a.NumForms())
 	for _, f := range a.Forms() {
 		names[f.ID] = f.Name()
@@ -137,7 +154,11 @@ func Infer(a *isa.ISA, m exp.Measurer, cfg Config) (*Result, error) {
 	if err := full.Validate(); err != nil {
 		return nil, fmt.Errorf("core: inferred mapping invalid: %w", err)
 	}
-	progress("done")
+	if evoErr != nil {
+		progress("interrupted")
+	} else {
+		progress("done")
+	}
 
 	return &Result{
 		Mapping:         full,
@@ -148,5 +169,5 @@ func Infer(a *isa.ISA, m exp.Measurer, cfg Config) (*Result, error) {
 		Evo:             evoRes,
 		MeasurementTime: measurementTime,
 		InferenceTime:   time.Since(tInfer),
-	}, nil
+	}, evoErr
 }

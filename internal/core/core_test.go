@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -75,7 +76,7 @@ func TestInferEndToEnd(t *testing.T) {
 	cfg := testConfig()
 	cfg.Progress = func(s string) { stages = append(stages, s) }
 
-	res, err := Infer(a, mm, cfg)
+	res, err := Infer(context.Background(), a, mm, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,23 +141,23 @@ func TestInferEndToEnd(t *testing.T) {
 func TestInferValidation(t *testing.T) {
 	a := miniISA(t)
 	mm := &modelMeasurer{m: hiddenMapping()}
-	if _, err := Infer(nil, mm, testConfig()); err == nil {
+	if _, err := Infer(context.Background(), nil, mm, testConfig()); err == nil {
 		t.Error("nil ISA accepted")
 	}
-	if _, err := Infer(isa.New("empty"), mm, testConfig()); err == nil {
+	if _, err := Infer(context.Background(), isa.New("empty"), mm, testConfig()); err == nil {
 		t.Error("empty ISA accepted")
 	}
-	if _, err := Infer(a, nil, testConfig()); err == nil {
+	if _, err := Infer(context.Background(), a, nil, testConfig()); err == nil {
 		t.Error("nil measurer accepted")
 	}
 	bad := testConfig()
 	bad.NumPorts = 0
-	if _, err := Infer(a, mm, bad); err == nil {
+	if _, err := Infer(context.Background(), a, mm, bad); err == nil {
 		t.Error("zero ports accepted")
 	}
 	bad = testConfig()
 	bad.Epsilon = 0
-	if _, err := Infer(a, mm, bad); err == nil {
+	if _, err := Infer(context.Background(), a, mm, bad); err == nil {
 		t.Error("zero epsilon accepted")
 	}
 }
@@ -165,11 +166,11 @@ func TestInferDeterministic(t *testing.T) {
 	a := miniISA(t)
 	cfg := testConfig()
 	cfg.Evo.MaxGenerations = 8
-	r1, err := Infer(a, &modelMeasurer{m: hiddenMapping()}, cfg)
+	r1, err := Infer(context.Background(), a, &modelMeasurer{m: hiddenMapping()}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Infer(a, &modelMeasurer{m: hiddenMapping()}, cfg)
+	r2, err := Infer(context.Background(), a, &modelMeasurer{m: hiddenMapping()}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +184,7 @@ func TestInferUsesPortNames(t *testing.T) {
 	cfg := testConfig()
 	cfg.Evo.MaxGenerations = 5
 	cfg.PortNames = []string{"A", "B", "C"}
-	res, err := Infer(a, &modelMeasurer{m: hiddenMapping()}, cfg)
+	res, err := Infer(context.Background(), a, &modelMeasurer{m: hiddenMapping()}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

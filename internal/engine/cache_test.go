@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -277,7 +278,7 @@ func TestMemoConcurrentEvaluation(t *testing.T) {
 	for i := range pop {
 		pop[i] = mappings[i%len(mappings)]
 	}
-	if err := memo.EvaluateAll(pop, fits); err != nil {
+	if err := memo.EvaluateAll(context.Background(), pop, fits); err != nil {
 		t.Fatal(err)
 	}
 	for i := range pop {
@@ -477,12 +478,12 @@ func TestAdaptiveMemoGrowth(t *testing.T) {
 			ms[i] = portmap.Random(rng, portmap.RandomOptions{NumInsts: 12, NumPorts: 6, MaxUops: 3})
 		}
 		want := make([]Fitness, len(ms))
-		if err := plain.EvaluateAll(ms, want); err != nil {
+		if err := plain.EvaluateAll(context.Background(), ms, want); err != nil {
 			t.Fatal(err)
 		}
 		for _, svc := range []*Service{auto, pinned} {
 			got := make([]Fitness, len(ms))
-			if err := svc.EvaluateAll(ms, got); err != nil {
+			if err := svc.EvaluateAll(context.Background(), ms, got); err != nil {
 				t.Fatal(err)
 			}
 			for i := range ms {

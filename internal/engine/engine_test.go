@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sync"
@@ -128,7 +129,7 @@ func TestPredictValidation(t *testing.T) {
 func measuredSet(t *testing.T, rng *rand.Rand, numInsts, numPorts int) (*portmap.Mapping, *exp.Set) {
 	t.Helper()
 	hidden := portmap.Random(rng, portmap.RandomOptions{NumInsts: numInsts, NumPorts: numPorts, MaxUops: 2})
-	set, err := exp.GenerateAndMeasure(oracle{hidden}, numInsts)
+	set, err := exp.GenerateAndMeasure(context.Background(), oracle{hidden}, numInsts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +159,7 @@ func TestServiceMatchesDirectDavg(t *testing.T) {
 		ms[i] = portmap.Random(rng, portmap.RandomOptions{NumInsts: 10, NumPorts: 4, MaxUops: 3})
 	}
 	fits := make([]Fitness, len(ms))
-	if err := svc.EvaluateAll(ms, fits); err != nil {
+	if err := svc.EvaluateAll(context.Background(), ms, fits); err != nil {
 		t.Fatal(err)
 	}
 	for i, m := range ms {

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -10,6 +11,7 @@ import (
 	"pmevo/internal/cachetable"
 	"pmevo/internal/exp"
 	"pmevo/internal/portmap"
+	"pmevo/internal/runctrl"
 	"pmevo/internal/throughput"
 )
 
@@ -62,6 +64,13 @@ type ServiceOptions struct {
 	// option keeps the pre-existing Service behavior); consumers opt in
 	// with a size (evo.Run uses 2^16 slots by default).
 	FitCacheEntries int
+	// FitCacheWarm seeds the cross-generation fitness cache with entries
+	// from a previous run (Service.FitCacheSnapshot, spilled alongside an
+	// evolution checkpoint). Keys are whole-mapping fingerprints and
+	// values exact Davg bits, so warm entries are bit-identical to
+	// re-evaluating; a resumed run warm-started this way only saves
+	// recomputation. Ignored when FitCacheEntries <= 0.
+	FitCacheWarm []cachetable.Entry
 }
 
 // CacheStats is a snapshot of a Service's evaluation counters. The
@@ -367,6 +376,7 @@ func NewService(set *exp.Set, opts ServiceOptions) (*Service, error) {
 	}
 	if opts.FitCacheEntries > 0 {
 		s.fitCache = cachetable.New(opts.FitCacheEntries)
+		s.fitCache.LoadEntries(opts.FitCacheWarm)
 	}
 	return s, nil
 }
@@ -418,6 +428,17 @@ func (s *Service) MemoSnapshot() []cachetable.Entry {
 		return nil
 	}
 	return t.t.Snapshot()
+}
+
+// FitCacheSnapshot returns the cross-generation fitness cache's live
+// entries for persistence (engine.SaveFitCache alongside an evolution
+// checkpoint). Like MemoSnapshot, call only at a quiesce point. Returns
+// nil when the cache is disabled.
+func (s *Service) FitCacheSnapshot() []cachetable.Entry {
+	if s.fitCache == nil {
+		return nil
+	}
+	return s.fitCache.Snapshot()
 }
 
 // maybeGrowMemo is the adaptive-sizing decision point, called after each
@@ -634,20 +655,25 @@ func (s *Service) Evaluate(m *portmap.Mapping) (Fitness, error) {
 }
 
 // EvaluateAll computes the fitness of every mapping in ms in parallel,
-// writing results into out (len(out) must equal len(ms)).
-func (s *Service) EvaluateAll(ms []*portmap.Mapping, out []Fitness) error {
+// writing results into out (len(out) must equal len(ms)). Cancellation
+// is honored between candidates: once ctx is done, no further
+// candidates start and the typed interruption error (runctrl.ErrCanceled
+// / runctrl.ErrDeadline) is returned; out is then partially filled and
+// must be discarded — the caller resumes from its last consistent
+// state, which for the evolutionary loop is the previous generation.
+func (s *Service) EvaluateAll(ctx context.Context, ms []*portmap.Mapping, out []Fitness) error {
 	if len(out) != len(ms) {
 		return fmt.Errorf("engine: output length %d does not match batch length %d", len(out), len(ms))
 	}
 	s.evals.Add(int64(len(ms)))
 	if s.pred == nil {
-		ForEachWorker(len(ms), s.workers, func(w, i int) {
+		err := ForEachWorkerCtx(ctx, len(ms), s.workers, func(w, i int) {
 			out[i] = Fitness{Davg: s.davgFast(&s.workerSc[w], ms[i], nil), Volume: ms[i].Volume()}
 		})
 		s.maybeGrowMemo()
-		return nil
+		return err
 	}
-	return ForEachErr(len(ms), s.workers, func(i int) error {
+	return ForEachErrCtx(ctx, len(ms), s.workers, func(i int) error {
 		d, err := s.davgGeneric(ms[i], nil)
 		if err != nil {
 			return err
@@ -679,20 +705,29 @@ func (s *Service) NewBatchEvaluator() *BatchEvaluator {
 // EvaluateAll computes the fitness of every mapping in ms serially on the
 // calling goroutine, writing results into out (len(out) must equal
 // len(ms)). Results are bit-identical to Service.EvaluateAll.
-func (b *BatchEvaluator) EvaluateAll(ms []*portmap.Mapping, out []Fitness) error {
+// Cancellation is honored between candidates, with the same partial-out
+// contract as Service.EvaluateAll.
+func (b *BatchEvaluator) EvaluateAll(ctx context.Context, ms []*portmap.Mapping, out []Fitness) error {
 	s := b.svc
 	if len(out) != len(ms) {
 		return fmt.Errorf("engine: output length %d does not match batch length %d", len(out), len(ms))
 	}
 	s.evals.Add(int64(len(ms)))
 	if s.pred == nil {
+		var err error
 		for i, m := range ms {
+			if err = runctrl.Check(ctx); err != nil {
+				break
+			}
 			out[i] = Fitness{Davg: s.davgFast(&b.sc, m, nil), Volume: m.Volume()}
 		}
 		s.maybeGrowMemo()
-		return nil
+		return err
 	}
 	for i, m := range ms {
+		if err := runctrl.Check(ctx); err != nil {
+			return err
+		}
 		d, err := s.davgGeneric(m, nil)
 		if err != nil {
 			return err

@@ -55,9 +55,10 @@ func MemoPath(dir string) string { return filepath.Join(dir, "fitness-memo.pmc")
 // LoadMemo reads the memo entries spilled at path for the given
 // experiment set, for ServiceOptions.MemoWarm (or evo.Options.MemoWarm).
 // It never fails into a result path: a missing, damaged, or
-// foreign-set file yields nil entries and a diagnostic reason, and the
+// foreign-set file yields nil entries plus a typed cachestore
+// diagnostic (errors.Is against cachestore.ErrMissing et al.), and the
 // run cold-starts.
-func LoadMemo(path string, set *exp.Set) (entries []cachetable.Entry, reason string) {
+func LoadMemo(path string, set *exp.Set) ([]cachetable.Entry, error) {
 	return cachestore.Load(path, cachestore.SchemaFitnessMemo, ExpSetFingerprint(set))
 }
 
@@ -65,4 +66,24 @@ func LoadMemo(path string, set *exp.Set) (entries []cachetable.Entry, reason str
 // against the given experiment set to path.
 func SaveMemo(path string, set *exp.Set, entries []cachetable.Entry) error {
 	return cachestore.Save(path, cachestore.SchemaFitnessMemo, ExpSetFingerprint(set), entries)
+}
+
+// FitCachePath returns the conventional cross-generation fitness-cache
+// spill file inside an evolution checkpoint directory.
+func FitCachePath(dir string) string { return filepath.Join(dir, "fitness-cache.pmc") }
+
+// LoadFitCache reads a fitness-cache spill (Service.FitCacheSnapshot)
+// taken against the given experiment set, for
+// ServiceOptions.FitCacheWarm, with the same degrade-to-cold contract
+// as LoadMemo. Keys are whole-mapping fingerprints, pure content
+// hashes; the set fingerprint gates the file because Davg is a function
+// of mapping × experiment set.
+func LoadFitCache(path string, set *exp.Set) ([]cachetable.Entry, error) {
+	return cachestore.Load(path, cachestore.SchemaFitnessCache, ExpSetFingerprint(set))
+}
+
+// SaveFitCache atomically spills fitness-cache entries taken against
+// the given experiment set to path.
+func SaveFitCache(path string, set *exp.Set, entries []cachetable.Entry) error {
+	return cachestore.Save(path, cachestore.SchemaFitnessCache, ExpSetFingerprint(set), entries)
 }

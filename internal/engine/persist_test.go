@@ -1,10 +1,13 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"path/filepath"
 	"testing"
 
+	"pmevo/internal/cachestore"
 	"pmevo/internal/exp"
 	"pmevo/internal/portmap"
 )
@@ -27,7 +30,7 @@ func TestMemoWarmStartBitIdentical(t *testing.T) {
 		ms = append(ms, portmap.Random(rng, portmap.RandomOptions{NumInsts: 10, NumPorts: 4, MaxUops: 3}))
 	}
 	want := make([]Fitness, len(ms))
-	if err := cold.EvaluateAll(ms, want); err != nil {
+	if err := cold.EvaluateAll(context.Background(), ms, want); err != nil {
 		t.Fatal(err)
 	}
 	snap := cold.MemoSnapshot()
@@ -43,9 +46,9 @@ func TestMemoWarmStartBitIdentical(t *testing.T) {
 	if err := SaveMemo(path, set, snap); err != nil {
 		t.Fatal(err)
 	}
-	loaded, reason := LoadMemo(path, set)
-	if reason != "" || len(loaded) != len(snap) {
-		t.Fatalf("LoadMemo: %d of %d entries, reason %q", len(loaded), len(snap), reason)
+	loaded, err := LoadMemo(path, set)
+	if err != nil || len(loaded) != len(snap) {
+		t.Fatalf("LoadMemo: %d of %d entries, err %v", len(loaded), len(snap), err)
 	}
 
 	warm, err := NewService(set, ServiceOptions{MemoWarm: loaded})
@@ -53,7 +56,7 @@ func TestMemoWarmStartBitIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := make([]Fitness, len(ms))
-	if err := warm.EvaluateAll(ms, got); err != nil {
+	if err := warm.EvaluateAll(context.Background(), ms, got); err != nil {
 		t.Fatal(err)
 	}
 	for i := range ms {
@@ -101,11 +104,11 @@ func TestLoadMemoRejectsForeignSet(t *testing.T) {
 	if err := SaveMemo(path, setA, svc.MemoSnapshot()); err != nil {
 		t.Fatal(err)
 	}
-	if entries, reason := LoadMemo(path, setB); len(entries) != 0 || reason == "" {
-		t.Fatalf("foreign-set load returned %d entries (reason %q)", len(entries), reason)
+	if entries, err := LoadMemo(path, setB); len(entries) != 0 || !errors.Is(err, cachestore.ErrContentKey) {
+		t.Fatalf("foreign-set load returned %d entries (err %v)", len(entries), err)
 	}
-	if entries, reason := LoadMemo(path, setA); len(entries) == 0 || reason != "" {
-		t.Fatalf("same-set load failed: %d entries, reason %q", len(entries), reason)
+	if entries, err := LoadMemo(path, setA); len(entries) == 0 || err != nil {
+		t.Fatalf("same-set load failed: %d entries, err %v", len(entries), err)
 	}
 }
 

@@ -1,9 +1,12 @@
 package engine
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"pmevo/internal/runctrl"
 )
 
 // Workers resolves a worker-count option: values <= 0 mean GOMAXPROCS.
@@ -14,7 +17,7 @@ func Workers(n int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// ForEachWorker invokes fn(worker, i) exactly once for every i in
+// ForEachWorkerCtx invokes fn(worker, i) at most once for every i in
 // [0, n), distributing indices dynamically over up to `workers`
 // goroutines (<= 0: GOMAXPROCS). The worker argument identifies the
 // executing goroutine with a dense index in [0, workers), so callers can
@@ -23,11 +26,19 @@ func Workers(n int) int {
 // task costs vary, as they do for simulations of different experiment
 // lengths.
 //
-// ForEachWorker returns after all invocations have completed. With one
+// Cancellation is checked before every index claim: once ctx is done,
+// no further indices start (in-flight invocations run to completion —
+// fn is never abandoned mid-call), every worker goroutine exits, and
+// the pool returns the typed interruption error (runctrl.ErrCanceled /
+// runctrl.ErrDeadline). A nil error means every index ran. A nil or
+// never-canceled ctx costs one channel poll per index.
+//
+// ForEachWorkerCtx returns after all started invocations have
+// completed — it never leaks goroutines, canceled or not. With one
 // worker (or n <= 1) everything runs on the calling goroutine.
-func ForEachWorker(n, workers int, fn func(worker, i int)) {
+func ForEachWorkerCtx(ctx context.Context, n, workers int, fn func(worker, i int)) error {
 	if n <= 0 {
-		return
+		return runctrl.Check(ctx)
 	}
 	workers = Workers(workers)
 	if workers > n {
@@ -35,9 +46,12 @@ func ForEachWorker(n, workers int, fn func(worker, i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := runctrl.Check(ctx); err != nil {
+				return err
+			}
 			fn(0, i)
 		}
-		return
+		return runctrl.Check(ctx)
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -46,6 +60,9 @@ func ForEachWorker(n, workers int, fn func(worker, i int)) {
 		go func(w int) {
 			defer wg.Done()
 			for {
+				if runctrl.Check(ctx) != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -55,6 +72,20 @@ func ForEachWorker(n, workers int, fn func(worker, i int)) {
 		}(w)
 	}
 	wg.Wait()
+	return runctrl.Check(ctx)
+}
+
+// ForEachWorker is ForEachWorkerCtx without a cancellation scope: it
+// invokes fn exactly once for every index and returns after all
+// invocations have completed.
+func ForEachWorker(n, workers int, fn func(worker, i int)) {
+	ForEachWorkerCtx(context.Background(), n, workers, fn)
+}
+
+// ForEachCtx is ForEachWorkerCtx for tasks that need no per-worker
+// state.
+func ForEachCtx(ctx context.Context, n, workers int, fn func(i int)) error {
+	return ForEachWorkerCtx(ctx, n, workers, func(_, i int) { fn(i) })
 }
 
 // ForEach is ForEachWorker for tasks that need no per-worker state.
@@ -62,14 +93,16 @@ func ForEach(n, workers int, fn func(i int)) {
 	ForEachWorker(n, workers, func(_, i int) { fn(i) })
 }
 
-// ForEachWorkerErr is ForEachWorker for fallible tasks: it runs all
-// invocations to completion and returns the error of the
-// lowest-indexed failed task (nil if none failed).
-func ForEachWorkerErr(n, workers int, fn func(worker, i int) error) error {
+// ForEachWorkerErrCtx is ForEachWorkerCtx for fallible tasks: it runs
+// all started invocations to completion and returns the error of the
+// lowest-indexed failed task; with no task failure it returns the
+// cancellation state like ForEachWorkerCtx (task errors take
+// precedence — a real failure outranks "we were also interrupted").
+func ForEachWorkerErrCtx(ctx context.Context, n, workers int, fn func(worker, i int) error) error {
 	var mu sync.Mutex
 	firstErr := error(nil)
 	firstIdx := n
-	ForEachWorker(n, workers, func(w, i int) {
+	ctxErr := ForEachWorkerCtx(ctx, n, workers, func(w, i int) {
 		if err := fn(w, i); err != nil {
 			mu.Lock()
 			if i < firstIdx {
@@ -78,7 +111,21 @@ func ForEachWorkerErr(n, workers int, fn func(worker, i int) error) error {
 			mu.Unlock()
 		}
 	})
-	return firstErr
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctxErr
+}
+
+// ForEachWorkerErr is ForEachWorkerErrCtx without a cancellation scope.
+func ForEachWorkerErr(n, workers int, fn func(worker, i int) error) error {
+	return ForEachWorkerErrCtx(context.Background(), n, workers, fn)
+}
+
+// ForEachErrCtx is ForEachWorkerErrCtx for tasks without per-worker
+// state.
+func ForEachErrCtx(ctx context.Context, n, workers int, fn func(i int) error) error {
+	return ForEachWorkerErrCtx(ctx, n, workers, func(_, i int) error { return fn(i) })
 }
 
 // ForEachErr is ForEachWorkerErr for tasks without per-worker state.

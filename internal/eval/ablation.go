@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -33,7 +34,7 @@ type ExperimentDesignRow struct {
 
 // RunExperimentDesignAblation evaluates the three designs on `trials`
 // hidden machines and averages the scores.
-func RunExperimentDesignAblation(scale Scale, trials int) (*ExperimentDesignResult, error) {
+func RunExperimentDesignAblation(ctx context.Context, scale Scale, trials int) (*ExperimentDesignResult, error) {
 	if err := scale.Validate(); err != nil {
 		return nil, err
 	}
@@ -60,7 +61,7 @@ func RunExperimentDesignAblation(scale Scale, trials int) (*ExperimentDesignResu
 		oracle := oracleMeasurer{hidden}
 
 		// The full paper set, measured once; designs select subsets.
-		full, err := exp.GenerateAndMeasure(oracle, numInsts)
+		full, err := exp.GenerateAndMeasure(ctx, oracle, numInsts)
 		if err != nil {
 			return nil, err
 		}
@@ -107,7 +108,7 @@ func RunExperimentDesignAblation(scale Scale, trials int) (*ExperimentDesignResu
 				VolumeObjective: true,
 				Seed:            scale.Seed + int64(trial),
 			}
-			res, err := evo.Run(set, opts)
+			res, err := evo.Run(ctx, set, opts)
 			if err != nil {
 				return nil, err
 			}

@@ -2,6 +2,7 @@ package eval
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -10,7 +11,7 @@ func TestExperimentDesignAblation(t *testing.T) {
 	scale := QuickScale()
 	scale.Population = 120
 	scale.MaxGenerations = 20
-	res, err := RunExperimentDesignAblation(scale, 2)
+	res, err := RunExperimentDesignAblation(context.Background(), scale, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,12 +46,12 @@ func TestExperimentDesignAblation(t *testing.T) {
 }
 
 func TestExperimentDesignAblationValidation(t *testing.T) {
-	if _, err := RunExperimentDesignAblation(QuickScale(), 0); err == nil {
+	if _, err := RunExperimentDesignAblation(context.Background(), QuickScale(), 0); err == nil {
 		t.Error("zero trials accepted")
 	}
 	bad := QuickScale()
 	bad.Population = 0
-	if _, err := RunExperimentDesignAblation(bad, 1); err == nil {
+	if _, err := RunExperimentDesignAblation(context.Background(), bad, 1); err == nil {
 		t.Error("invalid scale accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -23,14 +24,17 @@ type Suite struct {
 }
 
 // NewSuite runs the inference pipeline on all three processors.
-func NewSuite(scale Scale, progress func(string)) (*Suite, error) {
+// Cancellation aborts the suite at the first interrupted pipeline
+// (partial per-processor results are not useful for the cross-tool
+// tables, so no partial Suite is returned).
+func NewSuite(ctx context.Context, scale Scale, progress func(string)) (*Suite, error) {
 	if progress == nil {
 		progress = func(string) {}
 	}
 	s := &Suite{Scale: scale}
 	for _, name := range []string{"SKL", "ZEN", "A72"} {
 		progress(fmt.Sprintf("running PMEvo pipeline on %s", name))
-		run, err := RunPipeline(name, scale)
+		run, err := RunPipeline(ctx, name, scale)
 		if err != nil {
 			return nil, err
 		}
@@ -124,7 +128,7 @@ type AccuracyResult struct {
 // predictor per architecture (§5.3): on SKL all five tools, on ZEN and
 // A72 only PMEvo and llvm-mca (the others are Intel-only or require
 // per-port counters).
-func (s *Suite) Accuracy(progress func(string)) (*AccuracyResult, error) {
+func (s *Suite) Accuracy(ctx context.Context, progress func(string)) (*AccuracyResult, error) {
 	if progress == nil {
 		progress = func(string) {}
 	}
@@ -149,7 +153,7 @@ func (s *Suite) Accuracy(progress func(string)) (*AccuracyResult, error) {
 		for i, e := range bench {
 			full[i] = translateExperiment(e, run.FormIDs)
 		}
-		meas, err := h.MeasureAll(full)
+		meas, err := h.MeasureAll(ctx, full)
 		if err != nil {
 			return nil, err
 		}

@@ -2,6 +2,7 @@ package eval
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -35,7 +36,7 @@ func TestScaleValidate(t *testing.T) {
 }
 
 func TestSubsetFormsStratified(t *testing.T) {
-	run, err := RunPipeline("SKL", QuickScale())
+	run, err := RunPipeline(context.Background(), "SKL", QuickScale())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestSubsetFormsStratified(t *testing.T) {
 }
 
 func TestRunPipelineUnknownProcessor(t *testing.T) {
-	if _, err := RunPipeline("P4", QuickScale()); err == nil {
+	if _, err := RunPipeline(context.Background(), "P4", QuickScale()); err == nil {
 		t.Error("unknown processor accepted")
 	}
 }
@@ -65,7 +66,7 @@ func TestRunPipelineUnknownProcessor(t *testing.T) {
 func TestFigure6Shape(t *testing.T) {
 	scale := QuickScale()
 	scale.Figure6MaxLen = 5
-	res, err := RunFigure6(scale)
+	res, err := RunFigure6(context.Background(), scale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestFigure6Shape(t *testing.T) {
 }
 
 func TestSuiteTables(t *testing.T) {
-	suite, err := NewSuite(QuickScale(), nil)
+	suite, err := NewSuite(context.Background(), QuickScale(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestSuiteTables(t *testing.T) {
 		}
 	}
 
-	acc, err := suite.Accuracy(nil)
+	acc, err := suite.Accuracy(context.Background(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +229,7 @@ func TestFigure8ShapesAndCrossCheck(t *testing.T) {
 // enforced inside the driver — bit-identical measurements between the
 // fast path and the brute-force baseline.
 func TestMeasureBenchArchBitExact(t *testing.T) {
-	row, err := runMeasureBenchArch("A72", QuickScale(), "")
+	row, err := runMeasureBenchArch(context.Background(), "A72", QuickScale(), "")
 	if err != nil {
 		t.Fatal(err)
 	}

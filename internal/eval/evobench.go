@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -90,12 +91,12 @@ const (
 // RunEvoBench measures the evolution loop at the given scale, single
 // population vs island model. scale.Islands selects the island count
 // (0: GOMAXPROCS, floored at 2 so the island path is always exercised).
-func RunEvoBench(scale Scale) (*EvoBenchResult, error) {
+func RunEvoBench(ctx context.Context, scale Scale) (*EvoBenchResult, error) {
 	rng := rand.New(rand.NewSource(scale.Seed + 6))
 	hidden := portmap.Random(rng, portmap.RandomOptions{
 		NumInsts: evoBenchInsts, NumPorts: evoBenchPorts, MaxUops: 2,
 	})
-	set, err := exp.GenerateAndMeasure(modelMeasurer{hidden}, evoBenchInsts)
+	set, err := exp.GenerateAndMeasure(ctx, modelMeasurer{hidden}, evoBenchInsts)
 	if err != nil {
 		return nil, fmt.Errorf("evo bench: %w", err)
 	}
@@ -130,7 +131,7 @@ func RunEvoBench(scale Scale) (*EvoBenchResult, error) {
 			opts.FitnessCacheEntries = -1 // the pre-island production configuration
 		}
 		start := time.Now()
-		r, err := evo.Run(set, opts)
+		r, err := evo.Run(ctx, set, opts)
 		if err != nil {
 			return EvoBenchRun{}, err
 		}

@@ -2,6 +2,7 @@ package eval
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -13,7 +14,7 @@ func TestRunEvoBenchQuick(t *testing.T) {
 	scale.Population = 8
 	scale.MaxGenerations = 6
 	scale.Islands = 3
-	res, err := RunEvoBench(scale)
+	res, err := RunEvoBench(context.Background(), scale)
 	if err != nil {
 		t.Fatal(err)
 	}

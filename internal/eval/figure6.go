@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -26,7 +27,7 @@ type Figure6Result struct {
 }
 
 // RunFigure6 measures the sweep.
-func RunFigure6(scale Scale) (*Figure6Result, error) {
+func RunFigure6(ctx context.Context, scale Scale) (*Figure6Result, error) {
 	if err := scale.Validate(); err != nil {
 		return nil, err
 	}
@@ -66,7 +67,7 @@ func RunFigure6(scale Scale) (*Figure6Result, error) {
 		} else {
 			es = exp.RandomBenchmarkSet(rng, proc.ISA.NumForms(), scale.Figure6Samples, length)
 		}
-		meas, err := h.MeasureAll(es)
+		meas, err := h.MeasureAll(ctx, es)
 		if err != nil {
 			return nil, err
 		}

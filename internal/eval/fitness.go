@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -81,12 +82,12 @@ func (mm modelMeasurer) Measure(e portmap.Experiment) (float64, error) {
 // non-empty cacheDir warm-starts the cached run's throughput memo from
 // the directory's spill file and re-spills the memo on completion; the
 // first invocation cold-starts (no file) and seeds the second.
-func RunFitnessBench(scale Scale, cacheDir string) (*FitnessBenchResult, error) {
+func RunFitnessBench(ctx context.Context, scale Scale, cacheDir string) (*FitnessBenchResult, error) {
 	rng := rand.New(rand.NewSource(scale.Seed + 4))
 	hidden := portmap.Random(rng, portmap.RandomOptions{
 		NumInsts: fitnessBenchInsts, NumPorts: fitnessBenchPorts, MaxUops: 2,
 	})
-	set, err := exp.GenerateAndMeasure(modelMeasurer{hidden}, fitnessBenchInsts)
+	set, err := exp.GenerateAndMeasure(ctx, modelMeasurer{hidden}, fitnessBenchInsts)
 	if err != nil {
 		return nil, fmt.Errorf("fitness bench: %w", err)
 	}
@@ -118,7 +119,7 @@ func RunFitnessBench(scale Scale, cacheDir string) (*FitnessBenchResult, error) 
 			opts.SnapshotMemo = cacheDir != ""
 		}
 		start := time.Now()
-		r, err := evo.Run(set, opts)
+		r, err := evo.Run(ctx, set, opts)
 		if err != nil {
 			return FitnessBenchRun{}, nil, err
 		}

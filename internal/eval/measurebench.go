@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -86,13 +87,13 @@ func (r *MeasureBenchResult) Speedup() float64 {
 // dropped, so hit rates stay attributable) and re-spills the cache
 // afterwards, so every arch's kernels persist even if a later arch
 // fails.
-func RunMeasureBench(scale Scale, cacheDir string) (*MeasureBenchResult, error) {
+func RunMeasureBench(ctx context.Context, scale Scale, cacheDir string) (*MeasureBenchResult, error) {
 	if err := scale.Validate(); err != nil {
 		return nil, err
 	}
 	res := &MeasureBenchResult{WarmStart: cacheDir != ""}
 	for _, name := range []string{"SKL", "ZEN", "A72"} {
-		arch, err := runMeasureBenchArch(name, scale, cacheDir)
+		arch, err := runMeasureBenchArch(ctx, name, scale, cacheDir)
 		if err != nil {
 			return nil, fmt.Errorf("measure bench %s: %w", name, err)
 		}
@@ -101,7 +102,7 @@ func RunMeasureBench(scale Scale, cacheDir string) (*MeasureBenchResult, error) 
 	return res, nil
 }
 
-func runMeasureBenchArch(name string, scale Scale, cacheDir string) (MeasureBenchArch, error) {
+func runMeasureBenchArch(ctx context.Context, name string, scale Scale, cacheDir string) (MeasureBenchArch, error) {
 	// The benchmark keeps at least two forms per semantic class: the
 	// paper's form sets (310/390 forms over a few dozen classes) are
 	// dominated by same-class forms with identical execution behaviour,
@@ -145,7 +146,7 @@ func runMeasureBenchArch(name string, scale Scale, cacheDir string) (MeasureBenc
 			return MeasureBenchRun{}, nil, 0, err
 		}
 		start := time.Now()
-		set, err := exp.GenerateAndMeasure(measure.SubsetMeasurer{H: h, IDs: ids}, sub.NumForms())
+		set, err := exp.GenerateAndMeasure(ctx, measure.SubsetMeasurer{H: h, IDs: ids}, sub.NumForms())
 		if err != nil {
 			return MeasureBenchRun{}, nil, 0, err
 		}

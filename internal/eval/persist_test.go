@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"testing"
 
 	"pmevo/internal/measure"
@@ -19,11 +20,11 @@ func TestMeasureBenchWarmStartRoundTrip(t *testing.T) {
 	// Pollute the process-wide cache: entries earlier drivers paid for
 	// must not leak into the benchmark's attribution (the driver
 	// flushes and reloads exactly the spill file).
-	if _, err := runMeasureBenchArch("A72", scale, ""); err != nil {
+	if _, err := runMeasureBenchArch(context.Background(), "A72", scale, ""); err != nil {
 		t.Fatal(err)
 	}
 
-	cold, err := runMeasureBenchArch("A72", scale, dir) // no spill file yet
+	cold, err := runMeasureBenchArch(context.Background(), "A72", scale, dir) // no spill file yet
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +36,7 @@ func TestMeasureBenchWarmStartRoundTrip(t *testing.T) {
 	}
 
 	measure.FlushSimCache() // "new process"
-	warm, err := runMeasureBenchArch("A72", scale, dir)
+	warm, err := runMeasureBenchArch(context.Background(), "A72", scale, dir)
 	if err != nil {
 		t.Fatal(err) // includes the in-driver fast-vs-baseline bit-equality check
 	}
@@ -64,7 +65,7 @@ func TestFitnessBenchWarmStartRoundTrip(t *testing.T) {
 	scale.Seed = 3
 	dir := t.TempDir()
 
-	cold, err := RunFitnessBench(scale, dir)
+	cold, err := RunFitnessBench(context.Background(), scale, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestFitnessBenchWarmStartRoundTrip(t *testing.T) {
 		t.Fatalf("cold run reported %d disk-warm hits", cold.Cached.MemoWarmHits)
 	}
 
-	warm, err := RunFitnessBench(scale, dir)
+	warm, err := RunFitnessBench(context.Background(), scale, dir)
 	if err != nil {
 		t.Fatal(err)
 	}

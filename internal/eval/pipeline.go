@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"pmevo/internal/core"
@@ -37,7 +38,14 @@ type PipelineRun struct {
 }
 
 // RunPipeline executes the full PMEvo pipeline for the named processor.
-func RunPipeline(procName string, scale Scale) (*PipelineRun, error) {
+//
+// ctx cancellation and deadlines propagate into measurement and the
+// evolutionary search (core.Infer): an interruption during the search
+// returns the typed evo.ErrCanceled/ErrDeadline along with a
+// PipelineRun built from the best mapping found so far, so callers can
+// checkpoint-and-report rather than lose the run. Scale.CheckpointDir /
+// Resume plumb crash-safe checkpointing through to evo.
+func RunPipeline(ctx context.Context, procName string, scale Scale) (*PipelineRun, error) {
 	if err := scale.Validate(); err != nil {
 		return nil, err
 	}
@@ -60,19 +68,23 @@ func RunPipeline(procName string, scale Scale) (*PipelineRun, error) {
 	cfg := core.DefaultConfig(proc.Config.NumPorts)
 	cfg.PortNames = proc.PortNames
 	cfg.Evo = evo.Options{
-		PopulationSize:    scale.Population,
-		MaxGenerations:    scale.MaxGenerations,
-		NumPorts:          proc.Config.NumPorts,
-		LocalSearch:       true,
-		VolumeObjective:   true,
-		Seed:              scale.Seed,
-		Islands:           scale.Islands,
-		MigrationInterval: scale.MigrationInterval,
-		MigrationCount:    scale.MigrationCount,
+		PopulationSize:     scale.Population,
+		MaxGenerations:     scale.MaxGenerations,
+		NumPorts:           proc.Config.NumPorts,
+		LocalSearch:        true,
+		VolumeObjective:    true,
+		Seed:               scale.Seed,
+		Islands:            scale.Islands,
+		MigrationInterval:  scale.MigrationInterval,
+		MigrationCount:     scale.MigrationCount,
+		CheckpointDir:      scale.CheckpointDir,
+		CheckpointInterval: scale.CheckpointInterval,
+		Resume:             scale.Resume,
+		Log:                scale.Log,
 	}
 
-	res, err := core.Infer(sub, measure.SubsetMeasurer{H: h, IDs: ids}, cfg)
-	if err != nil {
+	res, err := core.Infer(ctx, sub, measure.SubsetMeasurer{H: h, IDs: ids}, cfg)
+	if err != nil && !(evo.Interrupted(err) && res != nil) {
 		return nil, fmt.Errorf("eval: inference on %s failed: %w", procName, err)
 	}
 	return &PipelineRun{
@@ -81,5 +93,5 @@ func RunPipeline(procName string, scale Scale) (*PipelineRun, error) {
 		FormIDs: ids,
 		Harness: h,
 		Result:  res,
-	}, nil
+	}, err
 }

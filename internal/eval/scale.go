@@ -56,6 +56,18 @@ type Scale struct {
 	// Ignored with Islands <= 1.
 	MigrationInterval int
 	MigrationCount    int
+	// CheckpointDir, CheckpointInterval and Resume configure crash-safe
+	// checkpointing of the inference pipeline's evolutionary search (see
+	// evo.Options). The zero values — no checkpoint directory, no resume
+	// — keep historical runs bit-exact; a set CheckpointDir only changes
+	// what is written to disk, never the trajectory.
+	CheckpointDir      string
+	CheckpointInterval int
+	Resume             bool
+	// Log, when non-nil, receives checkpoint/resume diagnostics from
+	// the evolutionary search (Printf-style). Purely informational —
+	// never part of the trajectory. Nil means silent.
+	Log func(format string, args ...any)
 	// Seed derives all pseudo-random choices.
 	Seed int64
 }

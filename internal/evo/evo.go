@@ -45,6 +45,7 @@
 package evo
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -55,7 +56,22 @@ import (
 	"pmevo/internal/engine"
 	"pmevo/internal/exp"
 	"pmevo/internal/portmap"
+	"pmevo/internal/runctrl"
 )
+
+// Typed interruption errors, re-exported from internal/runctrl so
+// consumers can errors.Is against the evo package directly. A Run that
+// returns one of these still returns a non-nil *Result when any
+// generation completed: the best-so-far partial result, with History
+// and Generations reflecting the work actually done.
+var (
+	ErrCanceled = runctrl.ErrCanceled
+	ErrDeadline = runctrl.ErrDeadline
+)
+
+// Interrupted reports whether err is a cancellation/deadline
+// interruption (and a partial Result may accompany it).
+func Interrupted(err error) bool { return runctrl.Interrupted(err) }
 
 // Options configures the evolutionary algorithm.
 type Options struct {
@@ -167,6 +183,39 @@ type Options struct {
 	// Result.MemoSnapshot when the run completes, for persistence via
 	// engine.SaveMemo.
 	SnapshotMemo bool
+	// CheckpointDir enables crash-safe checkpointing: every
+	// CheckpointInterval generations (and at every migration barrier, on
+	// interruption, and on completion of the generational phase) the
+	// run atomically spills populations, RNG stream positions,
+	// generation counters, and the engine's fitness caches to this
+	// directory. Empty disables checkpointing.
+	CheckpointDir string
+	// CheckpointInterval is the periodic checkpoint cadence in
+	// generations (0: default 10; negative: periodic checkpoints off —
+	// barrier/interruption/completion checkpoints still happen).
+	// Clamped, never an error, in the planIslands style.
+	CheckpointInterval int
+	// Resume restores the run from CheckpointDir's checkpoint before
+	// evolving. The determinism contract: an interrupted-then-resumed
+	// fixed-seed run produces Best/BestError/BestVolume/History/
+	// Generations bit-identical to an uninterrupted run (pinned by
+	// golden test); only run-local diagnostics (FitnessEvaluations,
+	// CacheStats) may differ, since the resumed process skips work the
+	// first process already did. A missing, damaged, or incompatible
+	// checkpoint — different experiment set, seed, or any
+	// trajectory-shaping option — logs a diagnostic and cold-starts;
+	// MaxGenerations may differ (a resume can extend the budget).
+	Resume bool
+	// OnGeneration, when non-nil, is called on the coordinator
+	// goroutine after each completed generation (single-population
+	// runs) or after each migration barrier (island runs) with the
+	// number of generations completed so far. It is a progress hook and
+	// a deterministic cancellation point for tests; it must not call
+	// back into the run.
+	OnGeneration func(gensDone int)
+	// Log, when non-nil, receives checkpoint/resume diagnostics
+	// (Printf-style). Nil means silent.
+	Log func(format string, args ...any)
 }
 
 // DefaultOptions returns a configuration suitable for medium-size
@@ -224,7 +273,17 @@ type individual struct {
 }
 
 // Run executes the evolutionary algorithm on a measured experiment set.
-func Run(set *exp.Set, opts Options) (*Result, error) {
+//
+// Cancellation: ctx is honored at every generation boundary, between
+// candidates inside a fitness batch, and between local-search probes.
+// When ctx is canceled or its deadline passes, Run stops at the next
+// such point and returns the best-so-far partial *Result together with
+// a typed error wrapping ErrCanceled or ErrDeadline (nil Result only
+// when not even the initial population was evaluated). With
+// Options.CheckpointDir set, the state at the last completed
+// generation boundary is checkpointed before returning, ready for
+// Resume.
+func Run(ctx context.Context, set *exp.Set, opts Options) (*Result, error) {
 	if set == nil || set.NumInsts == 0 {
 		return nil, errors.New("evo: empty instruction set")
 	}
@@ -258,6 +317,42 @@ func Run(set *exp.Set, opts Options) (*Result, error) {
 		}
 	}
 
+	logf := opts.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	plan := planIslands(opts)
+	setFP := engine.ExpSetFingerprint(set)
+	ckptKey := checkpointKey(setFP, opts, plan)
+
+	// Resume restores the checkpoint (and the cache spills next to it)
+	// before the Service exists, so warm entries ride in through the
+	// service options. Every failure path cold-starts with a diagnostic.
+	var restored *ckptState
+	fitWarm := []cachetable.Entry(nil)
+	memoWarm := opts.MemoWarm
+	if opts.Resume && opts.CheckpointDir != "" {
+		st, err := loadCheckpoint(opts.CheckpointDir, ckptKey, set.NumInsts, opts.NumPorts)
+		if err != nil {
+			logf("evo: resume: cold start: %v", err)
+		} else if err := validateCheckpointGeometry(st, plan, opts); err != nil {
+			logf("evo: resume: cold start: %v", err)
+		} else {
+			restored = st
+			logf("evo: resume: restored checkpoint at generation %d from %s",
+				maxGens(st), CheckpointPath(opts.CheckpointDir))
+		}
+		if !opts.DisableCache {
+			if entries, err := engine.LoadFitCache(engine.FitCachePath(opts.CheckpointDir), set); err == nil {
+				fitWarm = entries
+			}
+			if entries, err := engine.LoadMemo(engine.MemoPath(opts.CheckpointDir), set); err == nil {
+				memoWarm = append(append([]cachetable.Entry(nil), memoWarm...), entries...)
+			}
+		}
+	}
+
 	memoEntries := 0
 	fitEntries := opts.FitnessCacheEntries
 	if fitEntries == 0 {
@@ -273,39 +368,109 @@ func Run(set *exp.Set, opts Options) (*Result, error) {
 		Workers:         opts.Workers,
 		Predictor:       opts.Engine,
 		MemoEntries:     memoEntries,
-		MemoWarm:        opts.MemoWarm,
+		MemoWarm:        memoWarm,
 		FitCacheEntries: fitEntries,
+		FitCacheWarm:    fitWarm,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("evo: %w", err)
 	}
 
-	plan := planIslands(opts)
+	var cp *checkpointer
+	if opts.CheckpointDir != "" {
+		cp = &checkpointer{
+			dir:      opts.CheckpointDir,
+			interval: planCheckpointInterval(opts),
+			key:      ckptKey,
+			set:      set,
+			svc:      svc,
+			numInsts: set.NumInsts,
+			numPorts: opts.NumPorts,
+			logf:     logf,
+		}
+	}
+
 	var best individual
 	res := &Result{}
 	if plan.islands == 1 {
-		best, err = runSingle(set, opts, svc, res)
+		best, err = runSingle(ctx, set, opts, svc, res, cp, restored)
 	} else {
-		best, err = runIslands(set, opts, svc, plan, res)
+		best, err = runIslands(ctx, set, opts, svc, plan, res, cp, restored)
+	}
+	finish := func(b individual) *Result {
+		res.Best = b.m
+		res.BestError = b.davg
+		res.BestVolume = b.volume
+		res.FitnessEvaluations = svc.Evaluations()
+		res.CacheStats = svc.Stats()
+		if opts.SnapshotMemo {
+			res.MemoSnapshot = svc.MemoSnapshot()
+		}
+		return res
 	}
 	if err != nil {
+		if runctrl.Interrupted(err) && best.m != nil {
+			return finish(best), err
+		}
 		return nil, err
 	}
 	if opts.LocalSearch {
-		best, err = localSearch(svc, best, opts)
-		if err != nil {
-			return nil, err
+		improved, lsErr := localSearch(ctx, svc, best, opts)
+		if lsErr != nil {
+			if runctrl.Interrupted(lsErr) && improved.m != nil {
+				return finish(improved), lsErr
+			}
+			return nil, lsErr
+		}
+		best = improved
+	}
+	return finish(best), nil
+}
+
+// Resume is Run with Options.Resume forced on: restore the checkpoint
+// in opts.CheckpointDir (cold-starting with a diagnostic when there is
+// none) and continue to MaxGenerations.
+func Resume(ctx context.Context, set *exp.Set, opts Options) (*Result, error) {
+	opts.Resume = true
+	return Run(ctx, set, opts)
+}
+
+// maxGens returns the furthest generation any island of a checkpoint
+// reached (for the resume diagnostic).
+func maxGens(st *ckptState) int {
+	g := 0
+	for i := range st.islands {
+		if st.islands[i].gens > g {
+			g = st.islands[i].gens
 		}
 	}
-	res.Best = best.m
-	res.BestError = best.davg
-	res.BestVolume = best.volume
-	res.FitnessEvaluations = svc.Evaluations()
-	res.CacheStats = svc.Stats()
-	if opts.SnapshotMemo {
-		res.MemoSnapshot = svc.MemoSnapshot()
+	return g
+}
+
+// validateCheckpointGeometry cross-checks a decoded checkpoint against
+// the run's clamped plan. The content key already covers everything
+// here (same options hash to the same key), so failures indicate a
+// damaged-but-checksum-colliding file or a version skew — treated, as
+// always, as a cold start.
+func validateCheckpointGeometry(st *ckptState, plan islandPlan, opts Options) error {
+	if plan.islands == 1 {
+		if st.mode != ckptModeSingle || len(st.islands) != 1 {
+			return fmt.Errorf("checkpoint has %d islands in mode %d, want single-population", len(st.islands), st.mode)
+		}
+		if n := len(st.islands[0].pop); n != opts.PopulationSize {
+			return fmt.Errorf("checkpoint population %d, want %d", n, opts.PopulationSize)
+		}
+		return nil
 	}
-	return res, nil
+	if st.mode != ckptModeIslands || len(st.islands) != plan.islands {
+		return fmt.Errorf("checkpoint has %d islands in mode %d, want %d islands", len(st.islands), st.mode, plan.islands)
+	}
+	for k := range st.islands {
+		if n := len(st.islands[k].pop); n != plan.sizes[k] {
+			return fmt.Errorf("checkpoint island %d population %d, want %d", k, n, plan.sizes[k])
+		}
+	}
+	return nil
 }
 
 // defaultFitCacheEntries sizes the cross-generation fitness cache when
@@ -369,40 +534,81 @@ func planIslands(opts Options) islandPlan {
 }
 
 // runSingle is the single-population algorithm — the pre-island code
-// path, preserved verbatim so that Islands <= 1 consumes the RNG stream
+// path, preserved so that Islands <= 1 consumes the RNG stream
 // identically and reproduces historical fixed-seed runs bit-exactly
 // (pinned by golden test). It returns the fittest individual before
 // local search and fills res.Generations/History.
-func runSingle(set *exp.Set, opts Options, svc *engine.Service, res *Result) (individual, error) {
-	rng := rand.New(rand.NewSource(opts.Seed))
+//
+// Cancellation stops the loop at the next generation boundary (or
+// mid-batch via evaluate, in which case the aborted generation's
+// children are discarded) and returns the last completed generation's
+// best with the typed interruption error; the boundary state is
+// checkpointed first. An interruption before the initial population
+// was evaluated returns no partial (there is no consistent state yet).
+func runSingle(ctx context.Context, set *exp.Set, opts Options, svc *engine.Service, res *Result, cp *checkpointer, restored *ckptState) (individual, error) {
+	rng, src := newCountedRand(opts.Seed)
 	p := opts.PopulationSize
-	pop := make([]individual, 0, 2*p)
-	for _, sm := range opts.SeedMappings {
-		if len(pop) < p {
-			pop = append(pop, individual{m: sm.Clone()})
-		}
-	}
-	for len(pop) < p {
-		m := portmap.Random(rng, portmap.RandomOptions{
-			NumInsts:       set.NumInsts,
-			NumPorts:       opts.NumPorts,
-			ThroughputHint: set.Individual,
-			MaxUops:        opts.MaxUopsPerInst,
-		})
-		pop = append(pop, individual{m: m})
-	}
+	dedupe := !opts.DisableCache
 	// seen caches fitness by whole-mapping fingerprint for the current
 	// population, so duplicate candidates — common once the population
 	// converges — skip evaluation entirely. Rebuilt per generation to
 	// stay bounded.
-	dedupe := !opts.DisableCache
 	seen := make(map[uint64]engine.Fitness)
-	if err := evaluate(svc, svc, pop, seen, dedupe); err != nil {
-		return individual{}, err
+
+	var pop []individual
+	startGen := 0
+	if restored != nil {
+		// The restored population is already evaluated and sorted; the
+		// RNG fast-forwards to the boundary position, after which every
+		// draw matches the uninterrupted run.
+		st := &restored.islands[0]
+		pop = make([]individual, 0, 2*p)
+		pop = append(pop, st.pop...)
+		startGen = st.gens
+		res.Generations = st.gens
+		res.History = append(res.History, st.history...)
+		src.skip(st.draws)
+		if converged(pop, opts.ConvergenceEps) || st.converged {
+			return pop[0], nil
+		}
+	} else {
+		pop = make([]individual, 0, 2*p)
+		for _, sm := range opts.SeedMappings {
+			if len(pop) < p {
+				pop = append(pop, individual{m: sm.Clone()})
+			}
+		}
+		for len(pop) < p {
+			m := portmap.Random(rng, portmap.RandomOptions{
+				NumInsts:       set.NumInsts,
+				NumPorts:       opts.NumPorts,
+				ThroughputHint: set.Individual,
+				MaxUops:        opts.MaxUopsPerInst,
+			})
+			pop = append(pop, individual{m: m})
+		}
+		if err := evaluate(ctx, svc, svc, pop, seen, dedupe); err != nil {
+			return individual{}, err
+		}
 	}
 
-	for gen := 0; gen < opts.MaxGenerations; gen++ {
-		res.Generations = gen + 1
+	// singleState snapshots the boundary state for checkpointing.
+	singleState := func(gens int, draws uint64) *ckptState {
+		return &ckptState{mode: ckptModeSingle, islands: []ckptIsland{{
+			draws:   draws,
+			gens:    gens,
+			inited:  true,
+			history: res.History,
+			pop:     pop,
+		}}}
+	}
+
+	for gen := startGen; gen < opts.MaxGenerations; gen++ {
+		boundaryDraws := src.n
+		if err := runctrl.Check(ctx); err != nil {
+			cp.interruptOrDone(gen, func() *ckptState { return singleState(gen, boundaryDraws) })
+			return pop[0], err
+		}
 
 		// Evolutionary operators: p children from recombined parents.
 		children := make([]individual, 0, p)
@@ -426,7 +632,14 @@ func runSingle(set *exp.Set, opts Options, svc *engine.Service, res *Result) (in
 				seen[pop[i].m.FingerprintAll()] = engine.Fitness{Davg: pop[i].davg, Volume: pop[i].volume}
 			}
 		}
-		if err := evaluate(svc, svc, children, seen, dedupe); err != nil {
+		if err := evaluate(ctx, svc, svc, children, seen, dedupe); err != nil {
+			if runctrl.Interrupted(err) {
+				// The aborted generation's children are discarded; pop is
+				// still the last boundary state, and boundaryDraws predates
+				// this generation's recombination draws.
+				cp.interruptOrDone(gen, func() *ckptState { return singleState(gen, boundaryDraws) })
+				return pop[0], err
+			}
 			return individual{}, err
 		}
 		pop = append(pop, children...)
@@ -436,6 +649,7 @@ func runSingle(set *exp.Set, opts Options, svc *engine.Service, res *Result) (in
 		selectBest(pop, p, opts.VolumeObjective, opts.AccuracyWeight)
 		pop = pop[:p]
 
+		res.Generations = gen + 1
 		best := pop[0]
 		res.History = append(res.History, GenStats{
 			Generation: gen,
@@ -444,10 +658,16 @@ func runSingle(set *exp.Set, opts Options, svc *engine.Service, res *Result) (in
 			MeanError:  meanError(pop),
 		})
 
+		cp.maybe(gen+1, func() *ckptState { return singleState(gen+1, src.n) })
+		if opts.OnGeneration != nil {
+			opts.OnGeneration(gen + 1)
+		}
+
 		if converged(pop, opts.ConvergenceEps) {
 			break
 		}
 	}
+	cp.interruptOrDone(res.Generations, func() *ckptState { return singleState(res.Generations, src.n) })
 	return pop[0], nil
 }
 
@@ -456,16 +676,20 @@ func runSingle(set *exp.Set, opts Options, svc *engine.Service, res *Result) (in
 // engine.Service's bit-exact pure-function caches (through its private
 // BatchEvaluator), which is what makes the run scheduling-independent.
 type island struct {
-	idx       int
-	rng       *rand.Rand
-	pop       []individual // sorted best-first after every generation
-	seen      map[uint64]engine.Fitness
-	be        *engine.BatchEvaluator
-	history   []GenStats
-	gens      int
-	inited    bool
-	converged bool
-	err       error
+	idx        int
+	rng        *rand.Rand
+	src        *countingSource
+	pop        []individual // sorted best-first after every generation
+	seen       map[uint64]engine.Fitness
+	be         *engine.BatchEvaluator
+	history    []GenStats
+	gens       int
+	draws      uint64 // RNG draw count at the last generation boundary
+	epochStart int    // gens at the start of the current epoch
+	target     int    // gens this epoch runs to (set by the coordinator)
+	inited     bool
+	converged  bool
+	err        error
 }
 
 // alive reports whether the island still has evolution budget.
@@ -473,26 +697,34 @@ func (isl *island) alive(maxGens int) bool {
 	return isl.err == nil && isl.gens < maxGens && !isl.converged
 }
 
-// evolve advances the island up to steps generations (first evaluating
+// evolve advances the island up to its epoch target (first evaluating
 // the initial population if this is the island's first epoch), running
 // the same generation loop as runSingle on the island's private RNG and
 // population. Called concurrently across islands; errors are parked in
-// isl.err for the coordinator.
-func (isl *island) evolve(steps int, set *exp.Set, svc *engine.Service, opts Options, dedupe bool) {
+// isl.err for the coordinator. Cancellation stops the island at a
+// generation boundary — isl.gens/isl.draws always describe a fully
+// evaluated, sorted population, so an interrupted island checkpoints
+// and resumes exactly like one that hit its barrier.
+func (isl *island) evolve(ctx context.Context, set *exp.Set, svc *engine.Service, opts Options, dedupe bool) {
 	if isl.err != nil {
 		return
 	}
 	if !isl.inited {
-		if err := evaluate(svc, isl.be, isl.pop, isl.seen, dedupe); err != nil {
+		if err := evaluate(ctx, svc, isl.be, isl.pop, isl.seen, dedupe); err != nil {
 			isl.err = err
 			return
 		}
 		isl.inited = true
+		isl.draws = isl.src.n
 	}
 	p := len(isl.pop)
-	for s := 0; s < steps && isl.gens < opts.MaxGenerations && !isl.converged; s++ {
+	for isl.gens < isl.target && isl.gens < opts.MaxGenerations && !isl.converged {
+		if runctrl.Check(ctx) != nil {
+			// Boundary stop: the coordinator notices the interruption
+			// itself, so the island just stops cleanly.
+			return
+		}
 		gen := isl.gens
-		isl.gens++
 
 		children := make([]individual, 0, p)
 		for len(children) < p {
@@ -514,7 +746,10 @@ func (isl *island) evolve(steps int, set *exp.Set, svc *engine.Service, opts Opt
 				isl.seen[isl.pop[i].m.FingerprintAll()] = engine.Fitness{Davg: isl.pop[i].davg, Volume: isl.pop[i].volume}
 			}
 		}
-		if err := evaluate(svc, isl.be, children, isl.seen, dedupe); err != nil {
+		if err := evaluate(ctx, svc, isl.be, children, isl.seen, dedupe); err != nil {
+			// Interrupted mid-batch: the aborted generation's children
+			// are discarded and the island state stays at the last
+			// boundary (gens/draws untouched). Real errors propagate.
 			isl.err = err
 			return
 		}
@@ -529,6 +764,8 @@ func (isl *island) evolve(steps int, set *exp.Set, svc *engine.Service, opts Opt
 			BestVolume: best.volume,
 			MeanError:  meanError(isl.pop),
 		})
+		isl.gens = gen + 1
+		isl.draws = isl.src.n
 		if converged(isl.pop, opts.ConvergenceEps) {
 			isl.converged = true
 		}
@@ -541,7 +778,13 @@ func (isl *island) evolve(steps int, set *exp.Set, svc *engine.Service, opts Opt
 // selection over the union of the surviving populations. Returns the
 // fittest individual before local search and fills
 // res.Generations/History.
-func runIslands(set *exp.Set, opts Options, svc *engine.Service, plan islandPlan, res *Result) (individual, error) {
+//
+// Cancellation is observed at island generation boundaries and acted on
+// at the epoch barrier: the coordinator checkpoints every island's
+// boundary state (per-island gens + epochStart, so a mid-epoch stop
+// resumes to the same barrier) and returns the cross-island best so far
+// with the typed interruption error.
+func runIslands(ctx context.Context, set *exp.Set, opts Options, svc *engine.Service, plan islandPlan, res *Result, cp *checkpointer, restored *ckptState) (individual, error) {
 	// Split one RNG stream per island from the master seed: island k's
 	// stream is seeded by the k-th draw, so the layout is a pure
 	// function of (Seed, Islands) — independent of Workers and of which
@@ -549,30 +792,98 @@ func runIslands(set *exp.Set, opts Options, svc *engine.Service, plan islandPlan
 	master := rand.New(rand.NewSource(opts.Seed))
 	isls := make([]*island, plan.islands)
 	for k := range isls {
+		rng, src := newCountedRand(master.Int63())
 		isls[k] = &island{
 			idx:  k,
-			rng:  rand.New(rand.NewSource(master.Int63())),
+			rng:  rng,
+			src:  src,
 			seen: make(map[uint64]engine.Fitness),
 			be:   svc.NewBatchEvaluator(),
 		}
 	}
-	// Seed mappings are distributed round-robin; each island fills the
-	// rest of its population from its own stream.
-	for i, sm := range opts.SeedMappings {
-		isl := isls[i%len(isls)]
-		if len(isl.pop) < plan.sizes[isl.idx] {
-			isl.pop = append(isl.pop, individual{m: sm.Clone()})
+	restoredEpoch := false
+	if restored != nil {
+		// Geometry was validated by the caller; each island fast-forwards
+		// its RNG to its boundary draw count and picks up its population,
+		// so the continuation is draw-for-draw the uninterrupted run.
+		for k, isl := range isls {
+			st := &restored.islands[k]
+			isl.pop = append(isl.pop, st.pop...)
+			isl.history = append(isl.history, st.history...)
+			isl.gens = st.gens
+			isl.epochStart = st.epochStart
+			isl.inited = st.inited
+			isl.converged = st.converged
+			isl.src.skip(st.draws)
+			isl.draws = st.draws
+			if isl.inited && !isl.converged && converged(isl.pop, opts.ConvergenceEps) {
+				isl.converged = true
+			}
+		}
+		restoredEpoch = true
+	} else {
+		// Seed mappings are distributed round-robin; each island fills the
+		// rest of its population from its own stream.
+		for i, sm := range opts.SeedMappings {
+			isl := isls[i%len(isls)]
+			if len(isl.pop) < plan.sizes[isl.idx] {
+				isl.pop = append(isl.pop, individual{m: sm.Clone()})
+			}
+		}
+		for k, isl := range isls {
+			for len(isl.pop) < plan.sizes[k] {
+				isl.pop = append(isl.pop, individual{m: portmap.Random(isl.rng, portmap.RandomOptions{
+					NumInsts:       set.NumInsts,
+					NumPorts:       opts.NumPorts,
+					ThroughputHint: set.Individual,
+					MaxUops:        opts.MaxUopsPerInst,
+				})})
+			}
+			isl.draws = isl.src.n
 		}
 	}
-	for k, isl := range isls {
-		for len(isl.pop) < plan.sizes[k] {
-			isl.pop = append(isl.pop, individual{m: portmap.Random(isl.rng, portmap.RandomOptions{
-				NumInsts:       set.NumInsts,
-				NumPorts:       opts.NumPorts,
-				ThroughputHint: set.Individual,
-				MaxUops:        opts.MaxUopsPerInst,
-			})})
+
+	// islandState snapshots every island's boundary state for
+	// checkpointing (slices are copied at encode time).
+	islandState := func() *ckptState {
+		st := &ckptState{mode: ckptModeIslands, islands: make([]ckptIsland, len(isls))}
+		for k, isl := range isls {
+			st.islands[k] = ckptIsland{
+				draws:      isl.draws,
+				gens:       isl.gens,
+				epochStart: isl.epochStart,
+				inited:     isl.inited,
+				converged:  isl.converged,
+				history:    isl.history,
+				pop:        isl.pop,
+			}
 		}
+		return st
+	}
+	maxIslandGens := func() int {
+		g := 0
+		for _, isl := range isls {
+			if isl.gens > g {
+				g = isl.gens
+			}
+		}
+		return g
+	}
+	// combinedBest ranks the union of the initialized populations under
+	// one shared normalization, exactly as one combined generation would
+	// be — the same selection the uninterrupted run performs at the end.
+	combinedBest := func() (individual, bool) {
+		combined := make([]individual, 0, opts.PopulationSize)
+		for _, isl := range isls {
+			if isl.inited {
+				combined = append(combined, isl.pop...)
+			}
+		}
+		if len(combined) == 0 {
+			return individual{}, false
+		}
+		selectBest(combined, len(combined), opts.VolumeObjective, opts.AccuracyWeight)
+		return combined[0], true
 	}
 
 	dedupe := !opts.DisableCache
@@ -587,35 +898,74 @@ func runIslands(set *exp.Set, opts Options, svc *engine.Service, plan islandPlan
 		if alive == 0 {
 			break
 		}
-		steps := opts.MaxGenerations // no migration: one epoch runs the full budget
-		if migrating {
-			steps = plan.interval
-		}
-		engine.ForEachWorker(len(isls), opts.Workers, func(_, k int) {
-			isls[k].evolve(steps, set, svc, opts, dedupe)
-		})
+		// Assign this epoch's per-island generation targets. On the
+		// first round after a resume the saved epochStart is reused, so
+		// a mid-epoch interruption continues to the barrier the
+		// uninterrupted run would have hit; afterwards each epoch starts
+		// at the island's own boundary.
 		for _, isl := range isls {
-			if isl.err != nil {
-				return individual{}, isl.err
+			if !migrating {
+				isl.epochStart = isl.gens
+				isl.target = opts.MaxGenerations // one epoch runs the full budget
+				continue
 			}
+			if !restoredEpoch {
+				isl.epochStart = isl.gens
+			}
+			isl.target = isl.epochStart + plan.interval
+		}
+		restoredEpoch = false
+		engine.ForEachWorker(len(isls), opts.Workers, func(_, k int) {
+			isls[k].evolve(ctx, set, svc, opts, dedupe)
+		})
+		interrupted := runctrl.Check(ctx)
+		for _, isl := range isls {
+			if isl.err == nil {
+				continue
+			}
+			if runctrl.Interrupted(isl.err) {
+				// The island stopped at its last boundary; the
+				// coordinator owns the interruption from here.
+				if interrupted == nil {
+					interrupted = isl.err
+				}
+				isl.err = nil
+				continue
+			}
+			return individual{}, isl.err
+		}
+		if interrupted != nil {
+			res.Generations, res.History = mergeIslandStats(isls)
+			cp.interruptOrDone(maxIslandGens(), islandState)
+			best, ok := combinedBest()
+			if !ok {
+				return individual{}, interrupted
+			}
+			return best, interrupted
 		}
 		if !migrating {
 			break
 		}
 		migrate(isls, plan.count, opts.ConvergenceEps)
+		// Migration rewrote populations outside the islands' own
+		// generation loops; the barrier checkpoint captures the
+		// post-migration state so a resume never replays the exchange.
+		for _, isl := range isls {
+			isl.epochStart = isl.gens
+		}
+		cp.barrier(maxIslandGens(), islandState)
+		if opts.OnGeneration != nil {
+			opts.OnGeneration(maxIslandGens())
+		}
 	}
 
 	res.Generations, res.History = mergeIslandStats(isls)
+	cp.interruptOrDone(res.Generations, islandState)
 
-	// Final cross-island selection: rank the union of the surviving
-	// populations under one shared normalization, exactly as one
-	// combined generation would be.
-	combined := make([]individual, 0, opts.PopulationSize)
-	for _, isl := range isls {
-		combined = append(combined, isl.pop...)
-	}
-	selectBest(combined, len(combined), opts.VolumeObjective, opts.AccuracyWeight)
-	return combined[0], nil
+	// Final cross-island selection over the union of the surviving
+	// populations.
+	best, _ := combinedBest()
+	return best, nil
 }
 
 // migrate performs one ring migration: island k's best count individuals
@@ -691,7 +1041,7 @@ func mergeIslandStats(isls []*island) (int, []GenStats) {
 // (serial, any number concurrent against one Service). Both produce
 // bit-identical fitnesses.
 type batchEvaluator interface {
-	EvaluateAll(ms []*portmap.Mapping, out []engine.Fitness) error
+	EvaluateAll(ctx context.Context, ms []*portmap.Mapping, out []engine.Fitness) error
 }
 
 // evaluate fills in the objectives of all individuals through the given
@@ -703,14 +1053,18 @@ type batchEvaluator interface {
 // skip evaluation entirely (bit-identical: the cache stores the exact
 // Davg a fresh evaluation would produce). Newly computed fitnesses are
 // added to seen and to the cross-generation cache.
-func evaluate(svc *engine.Service, be batchEvaluator, inds []individual, seen map[uint64]engine.Fitness, dedupe bool) error {
+//
+// An interrupted EvaluateAll leaves the batch partially filled; the
+// error propagates and no individual is updated, so the caller's
+// population stays consistent (the aborted batch is simply discarded).
+func evaluate(ctx context.Context, svc *engine.Service, be batchEvaluator, inds []individual, seen map[uint64]engine.Fitness, dedupe bool) error {
 	if !dedupe {
 		ms := make([]*portmap.Mapping, len(inds))
 		for i := range inds {
 			ms[i] = inds[i].m
 		}
 		fits := make([]engine.Fitness, len(inds))
-		if err := be.EvaluateAll(ms, fits); err != nil {
+		if err := be.EvaluateAll(ctx, ms, fits); err != nil {
 			return err
 		}
 		for i := range inds {
@@ -740,7 +1094,7 @@ func evaluate(svc *engine.Service, be batchEvaluator, inds []individual, seen ma
 		uniq = append(uniq, inds[i].m)
 	}
 	fits := make([]engine.Fitness, len(uniq))
-	if err := be.EvaluateAll(uniq, fits); err != nil {
+	if err := be.EvaluateAll(ctx, uniq, fits); err != nil {
 		return err
 	}
 	for fp, k := range batch {
@@ -921,7 +1275,11 @@ func mutate(rng *rand.Rand, m *portmap.Mapping, opts Options, tpHints []float64)
 // its cost is O(#experiments containing instruction i) per probe instead
 // of O(#experiments). With Options.DisableCache every probe is scored by
 // a full evaluation instead — bit-identical, pinned by test.
-func localSearch(svc *engine.Service, start individual, opts Options) (individual, error) {
+//
+// Cancellation is checked per pass and per instruction; an interrupted
+// search returns the best individual accepted so far (every commit
+// leaves m consistent) with the typed interruption error.
+func localSearch(ctx context.Context, svc *engine.Service, start individual, opts Options) (individual, error) {
 	m := start.m.Clone()
 	cur := engine.Fitness{Davg: start.davg, Volume: start.volume}
 	var st *engine.FitnessState
@@ -948,6 +1306,9 @@ func localSearch(svc *engine.Service, start individual, opts Options) (individua
 	for pass := 0; pass < maxPasses; pass++ {
 		improved := false
 		for i := 0; i < m.NumInsts(); i++ {
+			if err := runctrl.Check(ctx); err != nil {
+				return individual{m: m, davg: cur.Davg, volume: cur.Volume}, err
+			}
 			for j := 0; j < len(m.Decomp[i]); j++ {
 				orig := m.Decomp[i][j].Count
 				for _, delta := range []int{1, -1} {

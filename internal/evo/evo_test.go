@@ -1,6 +1,7 @@
 package evo
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -35,7 +36,7 @@ func hiddenMapping() *portmap.Mapping {
 
 func measuredSet(t *testing.T, m *portmap.Mapping) *exp.Set {
 	t.Helper()
-	set, err := exp.GenerateAndMeasure(modelMeasurer{m}, m.NumInsts())
+	set, err := exp.GenerateAndMeasure(context.Background(), modelMeasurer{m}, m.NumInsts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func smallOpts() Options {
 func TestRecoversSmallMapping(t *testing.T) {
 	hidden := hiddenMapping()
 	set := measuredSet(t, hidden)
-	res, err := Run(set, smallOpts())
+	res, err := Run(context.Background(), set, smallOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,14 +107,14 @@ func TestRunValidation(t *testing.T) {
 		{PopulationSize: 10, MaxGenerations: 5, NumPorts: 100},
 	}
 	for i, o := range cases {
-		if _, err := Run(set, o); err == nil {
+		if _, err := Run(context.Background(), set, o); err == nil {
 			t.Errorf("case %d: invalid options accepted", i)
 		}
 	}
-	if _, err := Run(nil, smallOpts()); err == nil {
+	if _, err := Run(context.Background(), nil, smallOpts()); err == nil {
 		t.Error("nil set accepted")
 	}
-	if _, err := Run(&exp.Set{NumInsts: 2}, smallOpts()); err == nil {
+	if _, err := Run(context.Background(), &exp.Set{NumInsts: 2}, smallOpts()); err == nil {
 		t.Error("set without measurements accepted")
 	}
 	bad := &exp.Set{
@@ -123,7 +124,7 @@ func TestRunValidation(t *testing.T) {
 			{Exp: portmap.Experiment{{Inst: 0, Count: 1}}, Throughput: -1},
 		},
 	}
-	if _, err := Run(bad, smallOpts()); err == nil {
+	if _, err := Run(context.Background(), bad, smallOpts()); err == nil {
 		t.Error("negative measured throughput accepted")
 	}
 }
@@ -132,11 +133,11 @@ func TestDeterministicWithSeed(t *testing.T) {
 	set := measuredSet(t, hiddenMapping())
 	opts := smallOpts()
 	opts.MaxGenerations = 10
-	r1, err := Run(set, opts)
+	r1, err := Run(context.Background(), set, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Run(set, opts)
+	r2, err := Run(context.Background(), set, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,9 +154,9 @@ func TestDifferentSeedsExploreDifferently(t *testing.T) {
 	opts := smallOpts()
 	opts.MaxGenerations = 3 // early stop: unlikely to agree already
 	opts.LocalSearch = false
-	r1, _ := Run(set, opts)
+	r1, _ := Run(context.Background(), set, opts)
 	opts.Seed = 99
-	r2, _ := Run(set, opts)
+	r2, _ := Run(context.Background(), set, opts)
 	if r1.Best.Equal(r2.Best) {
 		t.Log("warning: different seeds produced identical early mappings (possible but unlikely)")
 	}
@@ -165,7 +166,7 @@ func TestHistoryMonotoneBestError(t *testing.T) {
 	set := measuredSet(t, hiddenMapping())
 	opts := smallOpts()
 	opts.LocalSearch = false
-	res, err := Run(set, opts)
+	res, err := Run(context.Background(), set, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,12 +187,12 @@ func TestLocalSearchImprovesOrKeeps(t *testing.T) {
 	opts := smallOpts()
 	opts.LocalSearch = false
 	opts.MaxGenerations = 6
-	noLS, err := Run(set, opts)
+	noLS, err := Run(context.Background(), set, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	opts.LocalSearch = true
-	withLS, err := Run(set, opts)
+	withLS, err := Run(context.Background(), set, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,12 +206,12 @@ func TestVolumeObjectiveYieldsCompactMappings(t *testing.T) {
 
 	opts := smallOpts()
 	opts.Seed = 11
-	withV, err := Run(set, opts)
+	withV, err := Run(context.Background(), set, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	opts.VolumeObjective = false
-	withoutV, err := Run(set, opts)
+	withoutV, err := Run(context.Background(), set, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +252,7 @@ func TestMutationAblationRuns(t *testing.T) {
 	opts := smallOpts()
 	opts.MutationRate = 0.2
 	opts.MaxGenerations = 8
-	res, err := Run(set, opts)
+	res, err := Run(context.Background(), set, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +270,7 @@ func TestConvergenceStopsEarly(t *testing.T) {
 	opts := smallOpts()
 	opts.NumPorts = 2
 	opts.MaxGenerations = 500
-	res, err := Run(set, opts)
+	res, err := Run(context.Background(), set, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +286,7 @@ func TestFitnessEvaluationsCounted(t *testing.T) {
 	set := measuredSet(t, hiddenMapping())
 	opts := smallOpts()
 	opts.MaxGenerations = 5
-	res, err := Run(set, opts)
+	res, err := Run(context.Background(), set, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,7 +313,7 @@ func TestWarmStartFromSeedMapping(t *testing.T) {
 	// outrank it — that is the paper's trade-off, not a bug).
 	opts.AccuracyWeight = 10
 	opts.SeedMappings = []*portmap.Mapping{hidden}
-	res, err := Run(set, opts)
+	res, err := Run(context.Background(), set, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -333,7 +334,7 @@ func TestWarmStartFromSeedMapping(t *testing.T) {
 
 	opts.SeedMappings = []*portmap.Mapping{perturbed}
 	opts.MaxGenerations = 30
-	res, err = Run(set, opts)
+	res, err = Run(context.Background(), set, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -354,12 +355,12 @@ func TestWarmStartValidation(t *testing.T) {
 	opts := smallOpts()
 	wrong := portmap.NewMapping(99, 3)
 	opts.SeedMappings = []*portmap.Mapping{wrong}
-	if _, err := Run(set, opts); err == nil {
+	if _, err := Run(context.Background(), set, opts); err == nil {
 		t.Error("mismatched seed mapping accepted")
 	}
 	invalid := portmap.NewMapping(4, 3) // empty decompositions
 	opts.SeedMappings = []*portmap.Mapping{invalid}
-	if _, err := Run(set, opts); err == nil {
+	if _, err := Run(context.Background(), set, opts); err == nil {
 		t.Error("invalid seed mapping accepted")
 	}
 }
@@ -408,12 +409,12 @@ func TestAccuracyWeightEscapesCompactnessTrap(t *testing.T) {
 
 	opts := smallOpts()
 	opts.NumPorts = 2
-	equal, err := Run(set, opts)
+	equal, err := Run(context.Background(), set, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	opts.AccuracyWeight = 10
-	weighted, err := Run(set, opts)
+	weighted, err := Run(context.Background(), set, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -443,12 +444,12 @@ func TestCacheOnOffBitIdentical(t *testing.T) {
 			opts.MaxGenerations = 12
 
 			opts.DisableCache = false
-			cached, err := Run(set, opts)
+			cached, err := Run(context.Background(), set, opts)
 			if err != nil {
 				t.Fatal(err)
 			}
 			opts.DisableCache = true
-			plain, err := Run(set, opts)
+			plain, err := Run(context.Background(), set, opts)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -507,12 +508,12 @@ func TestCacheOnOffBitIdenticalGenericEngine(t *testing.T) {
 	opts.MaxGenerations = 6
 	opts.Engine = eng
 	opts.DisableCache = false
-	cached, err := Run(set, opts)
+	cached, err := Run(context.Background(), set, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	opts.DisableCache = true
-	plain, err := Run(set, opts)
+	plain, err := Run(context.Background(), set, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package evo
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"math/rand"
 	"reflect"
@@ -60,7 +61,7 @@ func TestGoldenSinglePopulation(t *testing.T) {
 			opts.Seed = tc.seed
 			opts.LocalSearch = tc.localSearch
 			opts.FitnessCacheEntries = -1 // the pre-PR service had no fitness cache
-			res, err := Run(set, opts)
+			res, err := Run(context.Background(), set, opts)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -83,7 +84,7 @@ func TestGoldenSinglePopulation(t *testing.T) {
 			// The cross-generation cache must not change any result —
 			// only skip work (Islands=1, cache on vs the pinned run).
 			opts.FitnessCacheEntries = 0 // default size
-			cached, err := Run(set, opts)
+			cached, err := Run(context.Background(), set, opts)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -116,7 +117,7 @@ func TestIslandsDeterministicAcrossWorkers(t *testing.T) {
 		opts := smallOpts()
 		opts.Islands = 4
 		opts.Workers = w
-		res, err := Run(set, opts)
+		res, err := Run(context.Background(), set, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -148,7 +149,7 @@ func TestIslandsRecoverSmallMapping(t *testing.T) {
 	set := measuredSet(t, hiddenMapping())
 	opts := smallOpts()
 	opts.Islands = 3
-	res, err := Run(set, opts)
+	res, err := Run(context.Background(), set, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestIslandsNoMigration(t *testing.T) {
 	opts := smallOpts()
 	opts.Islands = 3
 	opts.MigrationInterval = -1
-	res, err := Run(set, opts)
+	res, err := Run(context.Background(), set, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,12 +195,12 @@ func TestCrossGenCacheOnOffBitIdentical(t *testing.T) {
 		opts := smallOpts()
 		opts.Islands = islands
 		opts.FitnessCacheEntries = -1
-		off, err := Run(set, opts)
+		off, err := Run(context.Background(), set, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
 		opts.FitnessCacheEntries = 0 // default
-		on, err := Run(set, opts)
+		on, err := Run(context.Background(), set, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -440,7 +441,7 @@ func TestBatchEvaluatorMatchesService(t *testing.T) {
 			ms[b][i] = portmap.Random(rng, portmap.RandomOptions{NumInsts: set.NumInsts, NumPorts: 3})
 		}
 		want[b] = make([]engine.Fitness, per)
-		if err := svc.EvaluateAll(ms[b], want[b]); err != nil {
+		if err := svc.EvaluateAll(context.Background(), ms[b], want[b]); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -452,7 +453,7 @@ func TestBatchEvaluatorMatchesService(t *testing.T) {
 			defer func() { wg <- struct{}{} }()
 			be := svc.NewBatchEvaluator()
 			got[b] = make([]engine.Fitness, per)
-			errs[b] = be.EvaluateAll(ms[b], got[b])
+			errs[b] = be.EvaluateAll(context.Background(), ms[b], got[b])
 		}(b)
 	}
 	for b := 0; b < batches; b++ {

@@ -16,10 +16,12 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"pmevo/internal/portmap"
+	"pmevo/internal/runctrl"
 )
 
 // Measurement couples an experiment with its measured throughput.
@@ -50,17 +52,22 @@ type Measurer interface {
 // measurements and receive independent noise.
 type BatchMeasurer interface {
 	Measurer
-	MeasureAll(es []portmap.Experiment) ([]float64, error)
+	MeasureAll(ctx context.Context, es []portmap.Experiment) ([]float64, error)
 }
 
 // measureAll measures a batch through the fastest interface the
-// measurer supports.
-func measureAll(m Measurer, es []portmap.Experiment) ([]float64, error) {
+// measurer supports, honoring cancellation between measurements either
+// way (an interrupted batch returns no partial results — see
+// measure.Harness.MeasureAll for why batches are all-or-nothing).
+func measureAll(ctx context.Context, m Measurer, es []portmap.Experiment) ([]float64, error) {
 	if bm, ok := m.(BatchMeasurer); ok {
-		return bm.MeasureAll(es)
+		return bm.MeasureAll(ctx, es)
 	}
 	out := make([]float64, len(es))
 	for i, e := range es {
+		if err := runctrl.Check(ctx); err != nil {
+			return nil, err
+		}
 		tp, err := m.Measure(e)
 		if err != nil {
 			return nil, fmt.Errorf("experiment %d: %w", i, err)
@@ -124,8 +131,11 @@ func PairExperiments(individual []float64) []portmap.Experiment {
 
 // GenerateAndMeasure runs the full §4.1 protocol: measure singletons,
 // derive pair and weighted-pair experiments from the individual
-// throughputs, and measure those too.
-func GenerateAndMeasure(m Measurer, numInsts int) (*Set, error) {
+// throughputs, and measure those too. Cancellation (honored between
+// measurement batches and inside them) returns the typed
+// runctrl.ErrCanceled/ErrDeadline — a partially measured set is never
+// returned, because downstream inference assumes a complete protocol.
+func GenerateAndMeasure(ctx context.Context, m Measurer, numInsts int) (*Set, error) {
 	if numInsts <= 0 {
 		return nil, fmt.Errorf("exp: no instructions")
 	}
@@ -134,8 +144,11 @@ func GenerateAndMeasure(m Measurer, numInsts int) (*Set, error) {
 		Individual: make([]float64, numInsts),
 	}
 	singles := Singletons(numInsts)
-	tps, err := measureAll(m, singles)
+	tps, err := measureAll(ctx, m, singles)
 	if err != nil {
+		if runctrl.Interrupted(err) {
+			return nil, err
+		}
 		return nil, fmt.Errorf("exp: singletons: %w", err)
 	}
 	for i, e := range singles {
@@ -146,8 +159,11 @@ func GenerateAndMeasure(m Measurer, numInsts int) (*Set, error) {
 		set.Measurements = append(set.Measurements, Measurement{Exp: e, Throughput: tps[i]})
 	}
 	pairs := PairExperiments(set.Individual)
-	tps, err = measureAll(m, pairs)
+	tps, err = measureAll(ctx, m, pairs)
 	if err != nil {
+		if runctrl.Interrupted(err) {
+			return nil, err
+		}
 		return nil, fmt.Errorf("exp: pairs: %w", err)
 	}
 	for i, e := range pairs {

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -107,7 +108,7 @@ func TestPairExperimentsDedup(t *testing.T) {
 
 func TestGenerateAndMeasure(t *testing.T) {
 	mm := &modelMeasurer{m: testMapping()}
-	set, err := GenerateAndMeasure(mm, 3)
+	set, err := GenerateAndMeasure(context.Background(), mm, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,20 +132,20 @@ func TestGenerateAndMeasure(t *testing.T) {
 }
 
 func TestGenerateAndMeasureErrors(t *testing.T) {
-	if _, err := GenerateAndMeasure(&modelMeasurer{m: testMapping()}, 0); err == nil {
+	if _, err := GenerateAndMeasure(context.Background(), &modelMeasurer{m: testMapping()}, 0); err == nil {
 		t.Error("zero instructions accepted")
 	}
-	if _, err := GenerateAndMeasure(&failingMeasurer{left: 1}, 3); err == nil {
+	if _, err := GenerateAndMeasure(context.Background(), &failingMeasurer{left: 1}, 3); err == nil {
 		t.Error("failing measurer not propagated")
 	}
-	if _, err := GenerateAndMeasure(&failingMeasurer{left: 4}, 3); err == nil {
+	if _, err := GenerateAndMeasure(context.Background(), &failingMeasurer{left: 4}, 3); err == nil {
 		t.Error("failure in pair phase not propagated")
 	}
 }
 
 func TestPairThroughputs(t *testing.T) {
 	mm := &modelMeasurer{m: testMapping()}
-	set, err := GenerateAndMeasure(mm, 3)
+	set, err := GenerateAndMeasure(context.Background(), mm, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestPairThroughputs(t *testing.T) {
 
 func TestProject(t *testing.T) {
 	mm := &modelMeasurer{m: testMapping()}
-	set, err := GenerateAndMeasure(mm, 3)
+	set, err := GenerateAndMeasure(context.Background(), mm, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -69,7 +70,7 @@ func TestTripleExperimentsDegenerate(t *testing.T) {
 
 func TestExtendWithTriples(t *testing.T) {
 	mm := &modelMeasurer{m: testMapping()}
-	set, err := GenerateAndMeasure(mm, 3)
+	set, err := GenerateAndMeasure(context.Background(), mm, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestExtendWithTriples(t *testing.T) {
 
 func TestExtendWithTriplesPropagatesErrors(t *testing.T) {
 	mm := &modelMeasurer{m: testMapping()}
-	set, err := GenerateAndMeasure(mm, 3)
+	set, err := GenerateAndMeasure(context.Background(), mm, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

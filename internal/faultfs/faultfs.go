@@ -1,0 +1,71 @@
+// Package faultfs is the fault-injection seam under cachestore's
+// atomic write path. Production code calls WriteFile and Rename, which
+// normally delegate straight to the os package; tests install Hooks to
+// simulate the failure modes a crash-safe store must survive —
+// a crash between temp-file write and rename, a torn (short) write
+// that still renames into place, and ENOSPC — and then assert that
+// every reader degrades to last-good-file or cold start, never to a
+// misread.
+//
+// Hooks are process-global (the write paths they guard are already
+// process-global caches) and restored by the func Set returns, so tests
+// can scope an injection to one save.
+package faultfs
+
+import (
+	"os"
+	"sync/atomic"
+)
+
+// Hooks intercepts the primitive steps of an atomic temp-write+rename.
+// A nil field leaves that step untouched.
+type Hooks struct {
+	// BeforeWrite may replace or reject the bytes about to be written
+	// to the temp file at path. Returning a prefix simulates a torn
+	// write; returning an error simulates a write failure (e.g.
+	// syscall.ENOSPC).
+	BeforeWrite func(path string, data []byte) ([]byte, error)
+	// BeforeRename runs after the temp file is durably written and
+	// closed, immediately before it is renamed over the final path.
+	// Returning an error simulates a crash in the window between write
+	// and rename: the temp file exists, the final path is untouched.
+	BeforeRename func(oldpath, newpath string) error
+}
+
+var hooks atomic.Pointer[Hooks]
+
+// Set installs h as the process-global hook set and returns a func that
+// restores the previous hooks. Pass nil to clear.
+func Set(h *Hooks) (restore func()) {
+	prev := hooks.Swap(h)
+	return func() { hooks.Store(prev) }
+}
+
+// WriteFile writes data to the open temp file f (created at path),
+// applying any installed BeforeWrite hook first. A hook that shortens
+// the data produces a torn write that the caller will not notice — by
+// design, so the on-disk integrity checks are what must catch it.
+func WriteFile(f *os.File, path string, data []byte) error {
+	if h := hooks.Load(); h != nil && h.BeforeWrite != nil {
+		d, err := h.BeforeWrite(path, data)
+		if err != nil {
+			return err
+		}
+		data = d
+	}
+	_, err := f.Write(data)
+	return err
+}
+
+// Rename renames oldpath onto newpath, applying any installed
+// BeforeRename hook first. A hook error models a crash before the
+// rename: the caller sees the error, the final path keeps its previous
+// (last-good) content, and the orphaned temp file is the only residue.
+func Rename(oldpath, newpath string) error {
+	if h := hooks.Load(); h != nil && h.BeforeRename != nil {
+		if err := h.BeforeRename(oldpath, newpath); err != nil {
+			return err
+		}
+	}
+	return os.Rename(oldpath, newpath)
+}

@@ -1,0 +1,65 @@
+package lifecycle
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestClampDeadline(t *testing.T) {
+	cases := []struct {
+		in   time.Duration
+		want time.Duration
+		ok   bool
+	}{
+		{0, 0, false},
+		{-5 * time.Second, 0, false},
+		{time.Nanosecond, time.Nanosecond, true},
+		{3 * time.Second, 3 * time.Second, true},
+	}
+	for _, c := range cases {
+		got, ok := ClampDeadline(c.in)
+		if got != c.want || ok != c.ok {
+			t.Errorf("ClampDeadline(%v) = (%v, %v), want (%v, %v)", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestSignalContextNoDeadline(t *testing.T) {
+	ctx, stop := SignalContext(context.Background(), 0)
+	defer stop()
+	if _, ok := ctx.Deadline(); ok {
+		t.Fatal("zero -deadline installed a context deadline")
+	}
+	select {
+	case <-ctx.Done():
+		t.Fatal("context done without signal or deadline")
+	default:
+	}
+}
+
+func TestSignalContextDeadlineExpires(t *testing.T) {
+	ctx, stop := SignalContext(context.Background(), 10*time.Millisecond)
+	defer stop()
+	if _, ok := ctx.Deadline(); !ok {
+		t.Fatal("positive -deadline installed no context deadline")
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("deadline never expired")
+	}
+	if err := ctx.Err(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("ctx.Err() = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestSignalContextStopReleases(t *testing.T) {
+	ctx, stop := SignalContext(context.Background(), time.Hour)
+	stop()
+	// After stop the timeout context is canceled; the important part is
+	// that stop is idempotent and releases the signal registration.
+	stop()
+	<-ctx.Done()
+}

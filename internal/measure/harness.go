@@ -1,6 +1,7 @@
 package measure
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -230,12 +231,20 @@ func (h *Harness) applyNoise(perInstance float64) float64 {
 // noise is then applied sequentially in experiment order, so the result
 // is bit-identical to calling Measure in a loop. It implements
 // exp.BatchMeasurer.
-func (h *Harness) MeasureAll(es []portmap.Experiment) ([]float64, error) {
+//
+// Cancellation is honored between simulations (never mid-simulation):
+// an interrupted batch returns no partial results — measurement batches
+// are all-or-nothing, because the harness's noise stream is drawn in
+// experiment order and a partial draw would desynchronize later
+// measurements.
+func (h *Harness) MeasureAll(ctx context.Context, es []portmap.Experiment) ([]float64, error) {
 	perInstance := make([]float64, len(es))
 	errs := make([]error, len(es))
-	engine.ForEach(len(es), 0, func(i int) {
+	if err := engine.ForEachCtx(ctx, len(es), 0, func(i int) {
 		perInstance[i], errs[i] = h.simulate(es[i])
-	})
+	}); err != nil {
+		return nil, err
+	}
 	out := make([]float64, len(es))
 	for i := range es {
 		if errs[i] != nil {
@@ -273,12 +282,12 @@ func (s SubsetMeasurer) Measure(e portmap.Experiment) (float64, error) {
 }
 
 // MeasureAll measures a batch of subset-space experiments.
-func (s SubsetMeasurer) MeasureAll(es []portmap.Experiment) ([]float64, error) {
+func (s SubsetMeasurer) MeasureAll(ctx context.Context, es []portmap.Experiment) ([]float64, error) {
 	full := make([]portmap.Experiment, len(es))
 	for i, e := range es {
 		full[i] = s.translate(e)
 	}
-	return s.H.MeasureAll(full)
+	return s.H.MeasureAll(ctx, full)
 }
 
 // SimulatedBenchmarkingCost estimates the wall-clock time the measured

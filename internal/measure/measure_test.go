@@ -1,6 +1,8 @@
 package measure
 
 import (
+	"context"
+	"errors"
 	"math"
 	"os"
 	"path/filepath"
@@ -311,7 +313,7 @@ func TestMeasureAllAndAccounting(t *testing.T) {
 		{{Inst: g.ID, Count: 1}},
 		{{Inst: f.ID, Count: 1}, {Inst: g.ID, Count: 1}},
 	}
-	tps, err := h.MeasureAll(es)
+	tps, err := h.MeasureAll(context.Background(), es)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -445,7 +447,7 @@ func TestMeasureAllMatchesSequentialMeasure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := par.MeasureAll(es)
+	got, err := par.MeasureAll(context.Background(), es)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -480,7 +482,7 @@ func TestMeasureAllKernelCacheBitExact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := cached.MeasureAll(es)
+	got, err := cached.MeasureAll(context.Background(), es)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -491,7 +493,7 @@ func TestMeasureAllKernelCacheBitExact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := plain.MeasureAll(es)
+	want, err := plain.MeasureAll(context.Background(), es)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -505,7 +507,7 @@ func TestMeasureAllKernelCacheBitExact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantBrute, err := brute.MeasureAll(es)
+	wantBrute, err := brute.MeasureAll(context.Background(), es)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -527,7 +529,7 @@ func TestMeasureAllKernelCacheBitExact(t *testing.T) {
 	// The first batch's own hit count is NOT asserted: concurrent
 	// simulations of aliased bodies can race, both missing before either
 	// inserts.
-	again, err := cached.MeasureAll(es)
+	again, err := cached.MeasureAll(context.Background(), es)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -655,7 +657,7 @@ func TestSimCacheDiskWarmStart(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := h.MeasureAll(es)
+		got, err := h.MeasureAll(context.Background(), es)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -674,9 +676,9 @@ func TestSimCacheDiskWarmStart(t *testing.T) {
 
 	// "Fresh process": empty in-memory cache, warm-started from disk.
 	FlushSimCache()
-	loaded, reason := LoadSimCache(path)
+	loaded, lerr := LoadSimCache(path)
 	if loaded == 0 {
-		t.Fatalf("loaded no entries (reason %q)", reason)
+		t.Fatalf("loaded no entries (err %v)", lerr)
 	}
 	procBefore := ProcessCacheStats()
 	got, warmStats := measureAll()
@@ -706,9 +708,9 @@ func TestSimCacheDiskWarmStart(t *testing.T) {
 				t.Fatal(err)
 			}
 			FlushSimCache()
-			loaded, reason := LoadSimCache(path)
-			if loaded != 0 || reason == "" {
-				t.Fatalf("damaged file loaded %d entries (reason %q)", loaded, reason)
+			loaded, lerr := LoadSimCache(path)
+			if loaded != 0 || lerr == nil {
+				t.Fatalf("damaged file loaded %d entries (err %v)", loaded, lerr)
 			}
 			got, stats := measureAll()
 			for i := range es {
@@ -786,7 +788,7 @@ func TestKernelCachePeriodHints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := a.MeasureAll(es); err != nil {
+	if _, err := a.MeasureAll(context.Background(), es); err != nil {
 		t.Fatal(err)
 	}
 
@@ -796,7 +798,7 @@ func TestKernelCachePeriodHints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := b.MeasureAll(es)
+	got, err := b.MeasureAll(context.Background(), es)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -818,7 +820,7 @@ func TestKernelCachePeriodHints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := plain.MeasureAll(es)
+	want, err := plain.MeasureAll(context.Background(), es)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -853,7 +855,7 @@ func TestPeriodHintDiskRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := h.MeasureAll(es)
+		got, err := h.MeasureAll(context.Background(), es)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -872,9 +874,9 @@ func TestPeriodHintDiskRoundTrip(t *testing.T) {
 	// "Fresh process": both tables empty, only the hint file loaded. The
 	// kernel cache stays cold, so every body re-simulates — now hinted.
 	FlushSimCache()
-	loaded, reason := LoadHintCache(path)
+	loaded, lerr := LoadHintCache(path)
 	if loaded == 0 {
-		t.Fatalf("loaded no hints (reason %q)", reason)
+		t.Fatalf("loaded no hints (err %v)", lerr)
 	}
 	got, warmStats := measureAll()
 	for i := range es {
@@ -904,9 +906,9 @@ func TestPeriodHintDiskRoundTrip(t *testing.T) {
 				t.Fatal(err)
 			}
 			FlushSimCache()
-			loaded, reason := LoadHintCache(path)
-			if loaded != 0 || reason == "" {
-				t.Fatalf("damaged hint file loaded %d entries (reason %q)", loaded, reason)
+			loaded, lerr := LoadHintCache(path)
+			if loaded != 0 || lerr == nil {
+				t.Fatalf("damaged hint file loaded %d entries (err %v)", loaded, lerr)
 			}
 			got, stats := measureAll()
 			for i := range es {
@@ -937,7 +939,7 @@ func TestPeriodHintDiskRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	FlushSimCache()
-	if loaded, reason := LoadHintCache(path); loaded != 0 || reason == "" {
-		t.Fatalf("out-of-range hints loaded %d entries (reason %q)", loaded, reason)
+	if loaded, lerr := LoadHintCache(path); loaded != 0 || !errors.Is(lerr, ErrNoValidHints) {
+		t.Fatalf("out-of-range hints loaded %d entries (err %v)", loaded, lerr)
 	}
 }

@@ -1,6 +1,7 @@
 package measure
 
 import (
+	"errors"
 	"math"
 	"path/filepath"
 	"sync"
@@ -121,16 +122,17 @@ func FlushSimCache() {
 
 // LoadSimCache warm-starts the kernel cache from the spill file at
 // path, returning the number of entries seeded and, when nothing was
-// loaded, a diagnostic reason. It never fails into a result path: a
-// missing, truncated, corrupt, or mismatched file seeds nothing and
-// measurement cold-starts (cachestore's contract). Call it before
-// measurement begins — typically straight after flag parsing; loading
-// concurrently with in-flight measurements would blur warm-hit
-// attribution (results would still be exact).
-func LoadSimCache(path string) (loaded int, reason string) {
-	entries, reason := cachestore.Load(path, cachestore.SchemaSimCache, simCacheContentKey)
+// loaded, a typed diagnostic (errors.Is against cachestore.ErrMissing
+// et al.). It never fails into a result path: a missing, truncated,
+// corrupt, or mismatched file seeds nothing and measurement cold-starts
+// (cachestore's contract). Call it before measurement begins —
+// typically straight after flag parsing; loading concurrently with
+// in-flight measurements would blur warm-hit attribution (results would
+// still be exact).
+func LoadSimCache(path string) (loaded int, err error) {
+	entries, err := cachestore.Load(path, cachestore.SchemaSimCache, simCacheContentKey)
 	if len(entries) == 0 {
-		return 0, reason
+		return 0, err
 	}
 	simCacheMu.Lock()
 	defer simCacheMu.Unlock()
@@ -145,7 +147,7 @@ func LoadSimCache(path string) (loaded int, reason string) {
 	}
 	sharedSimCache.LoadEntries(entries)
 	warmSimKeys.Store(&warm)
-	return len(entries), reason
+	return len(entries), nil
 }
 
 // SaveSimCache atomically spills the kernel cache to path (temp file +
@@ -166,18 +168,23 @@ func SimCachePath(dir string) string { return filepath.Join(dir, "simcache.pmc")
 // a tool's -cache-dir (written and read alongside the kernel cache).
 func HintCachePath(dir string) string { return filepath.Join(dir, "period-hints.pmc") }
 
+// ErrNoValidHints is LoadHintCache's diagnostic for a well-formed hint
+// file none of whose values fall in the valid period range.
+var ErrNoValidHints = errors.New("no hint in valid period range")
+
 // LoadHintCache warm-starts the per-body period-hint table from the
 // spill file at path, returning the number of hints seeded and, when
-// nothing was loaded, a diagnostic reason. Like LoadSimCache it never
-// fails into a result path: a missing, truncated, corrupt, or
+// nothing was loaded, a typed diagnostic (errors.Is against
+// cachestore.ErrMissing et al., or ErrNoValidHints). Like LoadSimCache
+// it never fails into a result path: a missing, truncated, corrupt, or
 // mismatched file — or one whose values are outside the valid period
 // range — seeds nothing, and detection runs cold. Hints only gate which
 // iterations detection hashes, so even an adversarial file cannot
 // change measurement results, only delay detection.
-func LoadHintCache(path string) (loaded int, reason string) {
-	entries, reason := cachestore.Load(path, cachestore.SchemaPeriodHints, hintCacheContentKey)
+func LoadHintCache(path string) (loaded int, err error) {
+	entries, err := cachestore.Load(path, cachestore.SchemaPeriodHints, hintCacheContentKey)
 	if len(entries) == 0 {
-		return 0, reason
+		return 0, err
 	}
 	// Drop out-of-range values at the door (the read path re-checks, so
 	// this only keeps garbage from occupying slots).
@@ -188,11 +195,11 @@ func LoadHintCache(path string) (loaded int, reason string) {
 		}
 	}
 	if len(valid) == 0 {
-		return 0, "no hint in valid period range"
+		return 0, ErrNoValidHints
 	}
 	simCacheMu.Lock()
 	defer simCacheMu.Unlock()
-	return sharedHintCache.LoadEntries(valid), reason
+	return sharedHintCache.LoadEntries(valid), nil
 }
 
 // SaveHintCache atomically spills the period-hint table to path. Same
@@ -209,16 +216,16 @@ func SaveHintCache(path string) error {
 // stderr logger). The shared entry point for all three cmds.
 func WarmStartSimCache(dir string, logf func(format string, args ...any)) {
 	path := SimCachePath(dir)
-	if loaded, reason := LoadSimCache(path); loaded > 0 {
+	if loaded, err := LoadSimCache(path); loaded > 0 {
 		logf("warm-started kernel cache: %d entries from %s", loaded, path)
 	} else {
-		logf("kernel cache cold start (%s)", reason)
+		logf("kernel cache cold start (%v)", err)
 	}
 	hintPath := HintCachePath(dir)
-	if loaded, reason := LoadHintCache(hintPath); loaded > 0 {
+	if loaded, err := LoadHintCache(hintPath); loaded > 0 {
 		logf("warm-started period hints: %d entries from %s", loaded, hintPath)
 	} else {
-		logf("period hints cold start (%s)", reason)
+		logf("period hints cold start (%v)", err)
 	}
 }
 

@@ -1,0 +1,75 @@
+// Package runctrl defines the typed interruption errors shared by every
+// long-running entry point in the compute stack (evolution, fitness
+// evaluation, measurement, the eval drivers) and small helpers for
+// mapping context state onto them.
+//
+// The contract: an interrupted entry point stops at its next natural
+// cancellation point (a generation boundary, an epoch barrier, a
+// work-pool index claim), returns the best partial result it has, and
+// wraps exactly one of the two sentinels below so callers can
+// distinguish "the user hit Ctrl-C" (ErrCanceled) from "the deadline
+// budget ran out" (ErrDeadline) with errors.Is — without losing the
+// partial work either way.
+package runctrl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrCanceled reports that a run was cut short by context cancellation
+// (SIGINT/SIGTERM, an explicit CancelFunc). Results returned alongside
+// it are valid partial results: everything completed before the
+// cancellation point.
+var ErrCanceled = errors.New("run canceled")
+
+// ErrDeadline reports that a run was cut short by a context deadline
+// (-deadline on the CLIs). Like ErrCanceled, it travels with the
+// best-so-far partial result rather than discarding it.
+var ErrDeadline = errors.New("run deadline exceeded")
+
+// Check maps the context's current state onto the typed sentinels:
+// nil while the context is live, ErrDeadline after its deadline passed,
+// ErrCanceled after cancellation. Long loops call it at every natural
+// stopping point; the returned error already wraps the sentinel, so
+// callers propagate it as-is (optionally adding their own context with
+// %w).
+func Check(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return cause(ctx)
+	default:
+		return nil
+	}
+}
+
+// cause converts a done context's error into the matching sentinel,
+// preserving the original error text via wrapping.
+func cause(ctx context.Context) error {
+	err := context.Cause(ctx)
+	if err == nil {
+		err = ctx.Err()
+	}
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("%w: %w", ErrDeadline, err)
+	case errors.Is(err, context.Canceled):
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	case err != nil:
+		// A custom cancel cause: still an interruption.
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	default:
+		return ErrCanceled
+	}
+}
+
+// Interrupted reports whether err (or anything it wraps) is one of the
+// interruption sentinels — i.e. whether a partial result may accompany
+// it. Plain failures (I/O errors, invalid options) return false.
+func Interrupted(err error) bool {
+	return errors.Is(err, ErrCanceled) || errors.Is(err, ErrDeadline)
+}

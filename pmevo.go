@@ -13,7 +13,7 @@
 //	proc, _ := pmevo.Processor("SKL")          // a simulated Skylake-like core
 //	harness, _ := pmevo.NewSimMeasurer(proc)   // measures experiments on it
 //	cfg := pmevo.DefaultConfig(proc.Config.NumPorts)
-//	result, _ := pmevo.Infer(proc.ISA, harness, cfg)
+//	result, _ := pmevo.Infer(context.Background(), proc.ISA, harness, cfg)
 //	fmt.Println(result.Mapping)
 //
 // Real hardware can be targeted by implementing the one-method Measurer
@@ -25,6 +25,8 @@
 package pmevo
 
 import (
+	"context"
+
 	"pmevo/internal/core"
 	"pmevo/internal/engine"
 	"pmevo/internal/evo"
@@ -102,10 +104,31 @@ type Analysis = throughput.Analysis
 // machine with the given number of ports.
 func DefaultConfig(numPorts int) Config { return core.DefaultConfig(numPorts) }
 
+// ErrCanceled and ErrDeadline are the typed interruption errors every
+// long-running entry point returns when its context is canceled or its
+// deadline expires (match with errors.Is). An interrupted Infer whose
+// evolutionary search had a best-so-far mapping returns it alongside
+// the error; see core.Infer.
+var (
+	ErrCanceled = evo.ErrCanceled
+	ErrDeadline = evo.ErrDeadline
+)
+
+// Interrupted reports whether err is a cancellation or deadline
+// interruption (as opposed to a real failure).
+func Interrupted(err error) bool { return evo.Interrupted(err) }
+
 // Infer runs the full PMEvo pipeline (experiment generation, throughput
 // measurement, congruence filtering, evolutionary optimization, local
-// search) for the given ISA against the measurer.
-func Infer(a *ISA, m Measurer, cfg Config) (*Result, error) { return core.Infer(a, m, cfg) }
+// search) for the given ISA against the measurer. Cancellation and
+// deadlines on ctx are honored at every stage: an interruption during
+// the evolutionary search returns ErrCanceled/ErrDeadline along with a
+// Result built from the best mapping found so far (check Interrupted
+// and decide whether to keep it); EvoOptions.CheckpointDir/Resume make
+// the search crash-safe and resumable.
+func Infer(ctx context.Context, a *ISA, m Measurer, cfg Config) (*Result, error) {
+	return core.Infer(ctx, a, m, cfg)
+}
 
 // Throughput computes the steady-state throughput of an experiment
 // under a port mapping with the bottleneck simulation algorithm (paper

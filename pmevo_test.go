@@ -1,6 +1,7 @@
 package pmevo_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -96,7 +97,7 @@ func TestFacadeInferEndToEnd(t *testing.T) {
 	// scalarization; lean the fitness toward accuracy (extension knob).
 	cfg.Evo.AccuracyWeight = 10
 
-	res, err := pmevo.Infer(a, oracle{hidden}, cfg)
+	res, err := pmevo.Infer(context.Background(), a, oracle{hidden}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
