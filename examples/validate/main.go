@@ -128,7 +128,8 @@ func staleMapping(proc *uarch.Processor, forms []int, classes *congruence.Classe
 	}
 	out := portmap.NewMapping(classes.NumClasses(), m.NumPorts)
 	for cls, rep := range classes.Rep {
-		out.Decomp[cls] = append([]portmap.UopCount(nil), m.Decomp[forms[rep]]...)
+		// SetDecomp copies and keeps the fingerprint cache fresh.
+		out.SetDecomp(cls, m.Decomp[forms[rep]])
 	}
 	return out
 }

@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// cachekey audits the persistence seam end to end: every
+// cachestore.Schema* constant — each names one on-disk spill format —
+// must have at least one Save-family and one Load-family call site
+// outside cachestore itself (a schema with only one side is either
+// dead weight or an unreadable spill), every such call site must pass a
+// non-trivial content key (a zero key defeats the "cache built against
+// different inputs" rejection), and the constant must be exercised by
+// at least one test (the damage-matrix tests are where corrupt-file
+// degradation is proven per schema).
+type cachekey struct{}
+
+func (*cachekey) Name() string { return "cachekey" }
+
+func (*cachekey) Doc() string {
+	return "every cachestore.Schema* constant needs matched Save/Load call sites with a " +
+		"non-trivial content key and coverage in the damage-matrix tests"
+}
+
+var (
+	cacheSaveFuncs = map[string]bool{"Save": true, "SaveTable": true, "SaveBlob": true}
+	cacheLoadFuncs = map[string]bool{"Load": true, "LoadTable": true, "LoadBlob": true}
+)
+
+func (*cachekey) Run(m *Module, r Reporter) {
+	store := findCachestore(m)
+	if store == nil {
+		return
+	}
+	// The schema constants under audit, by object.
+	type schemaState struct {
+		obj   *types.Const
+		saves int
+		loads int
+	}
+	var names []string
+	schemas := map[string]*schemaState{}
+	scope := store.Types.Scope()
+	for _, name := range scope.Names() {
+		if !strings.HasPrefix(name, "Schema") {
+			continue
+		}
+		if c, ok := scope.Lookup(name).(*types.Const); ok {
+			schemas[name] = &schemaState{obj: c}
+			names = append(names, name)
+		}
+	}
+	if len(schemas) == 0 {
+		return
+	}
+
+	// Pass 1: every Save/Load call site in non-test files outside
+	// cachestore — attribute schema arguments and vet content keys.
+	for _, p := range m.Packages {
+		if p == store {
+			continue
+		}
+		inspectFiles(p, func(f *ast.File, n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) < 3 {
+				return true
+			}
+			fn := calleeFunc(p.Info, call)
+			pkgPath, fname := pkgFuncName(fn)
+			if pkgPath != store.ImportPath || (!cacheSaveFuncs[fname] && !cacheLoadFuncs[fname]) {
+				return true
+			}
+			// Arg layout is uniform: (path, schema, contentKey, ...).
+			schemaArg, keyArg := call.Args[1], call.Args[2]
+			if obj := constRef(p.Info, schemaArg); obj != nil {
+				if st, ok := schemas[obj.Name()]; ok {
+					if cacheSaveFuncs[fname] {
+						st.saves++
+					} else {
+						st.loads++
+					}
+				}
+			} else {
+				r.Reportf(schemaArg.Pos(), "%s.%s called with a schema that is not a cachestore.Schema* constant; ad-hoc schema tags collide silently", store.Name, fname)
+			}
+			if tv, ok := p.Info.Types[keyArg]; ok && tv.Value != nil {
+				if v, isInt := constant.Uint64Val(tv.Value); isInt && v == 0 {
+					r.Reportf(keyArg.Pos(), "trivial content key 0 in %s.%s call: a zero key defeats the built-against-different-inputs rejection; hash the inputs the cache depends on", store.Name, fname)
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: test presence — each schema constant must appear in at
+	// least one _test.go file anywhere in the module.
+	tested := map[string]bool{}
+	for _, p := range m.Packages {
+		for _, f := range p.TestFiles {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					if _, isSchema := schemas[id.Name]; isSchema {
+						tested[id.Name] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	sort.Strings(names)
+	for _, name := range names {
+		st := schemas[name]
+		switch {
+		case st.saves == 0 && st.loads == 0:
+			r.Reportf(st.obj.Pos(), "%s has no Save or Load call site outside %s: a schema constant without consumers is dead weight or a sign the spill moved off the cachestore seam", name, store.Name)
+		case st.saves == 0:
+			r.Reportf(st.obj.Pos(), "%s has Load call sites but no Save call site outside %s: nothing ever writes this spill", name, store.Name)
+		case st.loads == 0:
+			r.Reportf(st.obj.Pos(), "%s has Save call sites but no Load call site outside %s: this spill is written but never warm-starts anything", name, store.Name)
+		}
+		if !tested[name] {
+			r.Reportf(st.obj.Pos(), "%s is not exercised by any test: extend the cachestore damage-matrix tests so corrupt-file degradation is proven for this schema", name)
+		}
+	}
+}
+
+// findCachestore locates the persistence package under audit: the real
+// internal/cachestore when loaded, else any package named cachestore
+// (the fixture twin).
+func findCachestore(m *Module) *Package {
+	if p := m.Pkg(m.Path + "/internal/cachestore"); p != nil {
+		return p
+	}
+	for _, p := range m.Packages {
+		if p.Name == "cachestore" {
+			return p
+		}
+	}
+	return nil
+}
+
+// constRef resolves an expression to the constant object it references
+// (identifier or selector), or nil.
+func constRef(info *types.Info, e ast.Expr) *types.Const {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	c, _ := info.Uses[id].(*types.Const)
+	return c
+}

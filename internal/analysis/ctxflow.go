@@ -1,0 +1,85 @@
+package analysis
+
+import "go/ast"
+
+// ctxflow enforces the cancellation contract that PR 8 plumbed through
+// the compute stack: library code must accept its caller's
+// context.Context rather than minting its own, exported functions that
+// take a context must take it first, and exported functions that spawn
+// goroutines must be cancelable at all. Entry-point packages (package
+// main) are exempt — creating the root context is their job.
+//
+// The "compute functions that loop" half of the contract is enforced at
+// the seam where it is checkable without heuristics: any exported
+// function that already threads a context must put it first, and the
+// Background()/TODO() ban makes dropping the caller's context visible
+// wherever a loop's callee requires one. Deliberate back-compat shims
+// carry a pmevo:allow annotation with a reason.
+type ctxflow struct{}
+
+func (*ctxflow) Name() string { return "ctxflow" }
+
+func (*ctxflow) Doc() string {
+	return "library code must not call context.Background()/TODO(); exported functions " +
+		"taking a context.Context must take it first; exported functions spawning goroutines must take one"
+}
+
+func (*ctxflow) Run(m *Module, r Reporter) {
+	for _, p := range m.Packages {
+		if p.Name == "main" {
+			continue
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if pkgPath, name := pkgFuncName(calleeFunc(p.Info, n)); pkgPath == "context" && (name == "Background" || name == "TODO") {
+						r.Reportf(n.Pos(), "context.%s() in library code severs the caller's cancellation scope; accept a context.Context parameter instead", name)
+					}
+				case *ast.FuncDecl:
+					checkCtxParams(p, r, n)
+				}
+				return true
+			})
+		}
+	}
+}
+
+func checkCtxParams(p *Package, r Reporter, fn *ast.FuncDecl) {
+	if !fn.Name.IsExported() || fn.Type.Params == nil {
+		return
+	}
+	hasCtx := false
+	paramIdx := 0
+	for _, field := range fn.Type.Params.List {
+		tv, ok := p.Info.Types[field.Type]
+		width := len(field.Names)
+		if width == 0 {
+			width = 1
+		}
+		if ok && isContextType(tv.Type) {
+			hasCtx = true
+			if paramIdx != 0 {
+				r.Reportf(field.Pos(), "%s: context.Context must be the first parameter so cancellation scope reads uniformly across the API", fn.Name.Name)
+			}
+		}
+		paramIdx += width
+	}
+	if !hasCtx && fn.Body != nil && spawnsGoroutine(fn.Body) {
+		r.Reportf(fn.Pos(), "%s spawns goroutines but takes no context.Context; spawned work must be cancelable (see engine.ForEachWorkerCtx)", fn.Name.Name)
+	}
+}
+
+// spawnsGoroutine reports whether the body contains a go statement,
+// including inside nested function literals it defines (the goroutine
+// still starts under this function's control).
+func spawnsGoroutine(body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

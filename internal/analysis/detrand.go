@@ -1,0 +1,100 @@
+package analysis
+
+import "go/ast"
+
+// deterministicPkgs are the packages pinned by the fixed-seed ⇒
+// bit-identical contract (the paper's reproducibility claim): every
+// random draw must come from a seeded, explicitly threaded *rand.Rand,
+// and no wall-clock value may influence a result. Matching is by
+// package name so testdata fixtures exercise the same scope rule.
+var deterministicPkgs = map[string]bool{
+	"evo":        true,
+	"machine":    true,
+	"engine":     true,
+	"measure":    true,
+	"throughput": true,
+	"portmap":    true,
+	"exp":        true,
+}
+
+// randPkgs are the import paths whose global draw functions share
+// process-wide PRNG state.
+var randPkgs = map[string]bool{"math/rand": true, "math/rand/v2": true}
+
+// randConstructors build values rather than drawing from the global
+// source. rand.New is fine (it wraps a caller-provided source); the
+// source constructors are flagged separately: every raw PRNG stream
+// must be created by the draw-counting seam in internal/evo/rng.go so
+// checkpoint/resume can replay it.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewZipf":    true,
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+var randSourceConstructors = map[string]bool{
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// detrand enforces the determinism contract in the deterministic
+// packages: no global math/rand calls (process-wide state breaks
+// fixed-seed bit-identity the moment two call sites interleave), no
+// ad-hoc PRNG sources outside the draw-counting seam, and no time.Now
+// (wall-clock values feeding results make reruns incomparable).
+type detrand struct{}
+
+func (*detrand) Name() string { return "detrand" }
+
+func (*detrand) Doc() string {
+	return "in deterministic packages (evo, machine, engine, measure, throughput, portmap, exp): " +
+		"forbid global math/rand calls, rand source construction outside internal/evo/rng.go, " +
+		"time-derived seeds, and time.Now feeding results"
+}
+
+func (*detrand) Run(m *Module, r Reporter) {
+	for _, p := range m.Packages {
+		if !deterministicPkgs[p.Name] {
+			continue
+		}
+		inspectFiles(p, func(f *ast.File, n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, name := pkgFuncName(calleeFunc(p.Info, call))
+			switch {
+			case randPkgs[pkgPath] && !randConstructors[name]:
+				r.Reportf(call.Pos(), "global %s.%s draws from process-wide PRNG state; use a seeded *rand.Rand threaded through the call stack (fixed seed ⇒ bit-identical results)", pkgPath, name)
+			case randPkgs[pkgPath] && randSourceConstructors[name]:
+				r.Reportf(call.Pos(), "%s.%s creates an ad-hoc PRNG stream; route it through the draw-counting seam (internal/evo/rng.go) so checkpoint/resume can replay it", pkgPath, name)
+				reportTimeSeed(p, r, call)
+			case pkgPath == "time" && name == "Now":
+				r.Reportf(call.Pos(), "time.Now in deterministic package %q: wall-clock values must not feed results; measure timing in drivers, not in the model", p.Name)
+			}
+			return true
+		})
+	}
+}
+
+// reportTimeSeed flags the classic rand.NewSource(time.Now().UnixNano())
+// pattern explicitly: beyond the ad-hoc stream, the seed itself is
+// irreproducible.
+func reportTimeSeed(p *Package, r Reporter, call *ast.CallExpr) {
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			inner, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pkgPath, name := pkgFuncName(calleeFunc(p.Info, inner)); pkgPath == "time" && name == "Now" {
+				r.Reportf(inner.Pos(), "time-derived seed: a wall-clock-seeded PRNG cannot reproduce a run; seeds must come from options or flags")
+				return false
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,280 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package of the module under analysis.
+// Non-test files are parsed with comments and fully type-checked; test
+// files are parsed (for the cachekey analyzer's test-presence checks)
+// but never type-checked — analyzers must not read type information
+// from them.
+type Package struct {
+	// ImportPath is the package's import path (modulePath/relDir).
+	ImportPath string
+	// Dir is the absolute directory the package was loaded from.
+	Dir string
+	// Name is the package name from the package clauses.
+	Name string
+	// Files are the build-selected non-test files, with comments.
+	Files []*ast.File
+	// TestFiles are the _test.go files, parsed with comments only.
+	TestFiles []*ast.File
+	// Types and Info hold the type-checking results for Files.
+	Types *types.Package
+	// Info holds identifier resolution and expression types for Files.
+	Info *types.Info
+}
+
+// Module is the unit the analyzer suite runs over: every loaded package
+// plus the shared position table.
+type Module struct {
+	// Path is the module path from go.mod (e.g. "pmevo").
+	Path string
+	// Root is the absolute directory containing go.mod.
+	Root string
+	// Fset maps every parsed file, including dependencies type-checked
+	// from source.
+	Fset *token.FileSet
+	// Packages are the loaded packages, sorted by import path.
+	Packages []*Package
+}
+
+// Pkg returns the loaded package with the given import path, or nil.
+func (m *Module) Pkg(importPath string) *Package {
+	for _, p := range m.Packages {
+		if p.ImportPath == importPath {
+			return p
+		}
+	}
+	return nil
+}
+
+// loader lazily parses and type-checks module packages, resolving
+// module-internal imports from the module tree and everything else
+// (the standard library) through the stdlib source importer, so the
+// suite needs no dependencies outside the standard library.
+type loader struct {
+	fset    *token.FileSet
+	bctx    build.Context
+	modPath string
+	root    string
+	pkgs    map[string]*Package // by import path; nil while loading (cycle guard)
+	order   []string            // completion order
+	stdImp  types.Importer
+}
+
+// Import implements types.Importer: module-internal paths load from the
+// module tree, everything else from GOROOT source.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if l.isModulePath(path) {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.stdImp.Import(path)
+}
+
+func (l *loader) isModulePath(path string) bool {
+	return path == l.modPath || strings.HasPrefix(path, l.modPath+"/")
+}
+
+// dirFor maps a module-internal import path to its directory.
+func (l *loader) dirFor(path string) string {
+	if path == l.modPath {
+		return l.root
+	}
+	return filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(path, l.modPath+"/")))
+}
+
+// load parses and type-checks one module package (memoized).
+func (l *loader) load(importPath string) (*Package, error) {
+	if p, ok := l.pkgs[importPath]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("import cycle through %s", importPath)
+		}
+		return p, nil
+	}
+	l.pkgs[importPath] = nil // in progress
+	dir := l.dirFor(importPath)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", importPath, err)
+	}
+	var files, testFiles []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			testFiles = append(testFiles, f)
+			continue
+		}
+		ok, err := l.bctx.MatchFile(dir, name)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", importPath, err)
+		}
+		if !ok {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("%s: no buildable Go files in %s", importPath, dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", importPath, err)
+	}
+	p := &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Name:       tpkg.Name(),
+		Files:      files,
+		TestFiles:  testFiles,
+		Types:      tpkg,
+		Info:       info,
+	}
+	l.pkgs[importPath] = p
+	l.order = append(l.order, importPath)
+	return p, nil
+}
+
+// moduleRoot walks upward from dir to the directory containing go.mod
+// and returns it together with the declared module path.
+func moduleRoot(dir string) (root, modPath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod: no module directive", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func newLoader(root, modPath string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:    fset,
+		bctx:    build.Default,
+		modPath: modPath,
+		root:    root,
+		pkgs:    map[string]*Package{},
+		stdImp:  importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// LoadModule loads every package of the module rooted at or above dir:
+// each directory with buildable Go files becomes a package, excluding
+// testdata trees and hidden directories. Test files ride along parsed
+// but unchecked.
+func LoadModule(dir string) (*Module, error) {
+	root, modPath, err := moduleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	var pkgDirs []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") {
+			dir := filepath.Dir(path)
+			if len(pkgDirs) == 0 || pkgDirs[len(pkgDirs)-1] != dir {
+				pkgDirs = append(pkgDirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return loadDirs(root, modPath, pkgDirs)
+}
+
+// LoadPackages loads only the given directories (relative to the module
+// root at or above dir) plus whatever module-internal packages they
+// import. The analyzer fixtures use this to bring testdata packages,
+// which LoadModule skips, under analysis.
+func LoadPackages(dir string, rel ...string) (*Module, error) {
+	root, modPath, err := moduleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	dirs := make([]string, len(rel))
+	for i, r := range rel {
+		dirs[i] = filepath.Join(root, filepath.FromSlash(r))
+	}
+	return loadDirs(root, modPath, dirs)
+}
+
+func loadDirs(root, modPath string, pkgDirs []string) (*Module, error) {
+	l := newLoader(root, modPath)
+	for _, dir := range pkgDirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		if _, err := l.load(importPath); err != nil {
+			return nil, err
+		}
+	}
+	m := &Module{Path: modPath, Root: root, Fset: l.fset}
+	for _, path := range l.order {
+		m.Packages = append(m.Packages, l.pkgs[path])
+	}
+	sort.Slice(m.Packages, func(i, j int) bool { return m.Packages[i].ImportPath < m.Packages[j].ImportPath })
+	return m, nil
+}

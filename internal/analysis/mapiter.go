@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// mapiter flags `range` over maps whose body has order-sensitive
+// effects — the exact bug class that silently breaks the fixed-seed ⇒
+// bit-identical contract, because Go randomizes map iteration order per
+// run. Three effect classes are checked:
+//
+//   - floating-point accumulation into a variable declared outside the
+//     loop (float addition is not associative, so the sum depends on
+//     visit order; integer accumulation is exact and commutative, so it
+//     is not flagged),
+//   - appends to a slice declared outside the loop that is not sorted
+//     afterwards in the same function (the canonical safe idiom —
+//     collect then sort.Slice — is recognized and stays quiet),
+//   - channel sends (the receiver observes the iteration order).
+type mapiter struct{}
+
+func (*mapiter) Name() string { return "mapiter" }
+
+func (*mapiter) Doc() string {
+	return "flag range-over-map loops with order-sensitive effects: float accumulation, " +
+		"appends that escape unsorted, channel sends (map iteration order is randomized per run)"
+}
+
+func (*mapiter) Run(m *Module, r Reporter) {
+	for _, p := range m.Packages {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				fn, body := enclosedFuncBody(n)
+				if body == nil {
+					return true
+				}
+				checkFuncMapRanges(p, r, fn, body)
+				return true
+			})
+		}
+	}
+}
+
+// enclosedFuncBody returns the body of a function declaration or
+// literal node, so range statements can be checked against the sorts
+// that follow them in the same function.
+func enclosedFuncBody(n ast.Node) (ast.Node, *ast.BlockStmt) {
+	switch fn := n.(type) {
+	case *ast.FuncDecl:
+		return fn, fn.Body
+	case *ast.FuncLit:
+		return fn, fn.Body
+	}
+	return nil, nil
+}
+
+func checkFuncMapRanges(p *Package, r Reporter, fn ast.Node, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if inner, _ := enclosedFuncBody(n); inner != nil && inner != fn {
+			return false // nested functions are visited on their own
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := p.Info.Types[rs.X]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		if _, isMap := types.Unalias(tv.Type).Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRangeBody(p, r, rs, body)
+		return true
+	})
+}
+
+func checkMapRangeBody(p *Package, r Reporter, rs *ast.RangeStmt, funcBody *ast.BlockStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.SendStmt:
+			r.Reportf(st.Pos(), "channel send inside range over map: the receiver observes randomized iteration order")
+		case *ast.AssignStmt:
+			checkMapRangeAssign(p, r, rs, st, funcBody)
+		}
+		return true
+	})
+}
+
+func checkMapRangeAssign(p *Package, r Reporter, rs *ast.RangeStmt, st *ast.AssignStmt, funcBody *ast.BlockStmt) {
+	// Compound float accumulation: sum += v and friends.
+	switch st.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		for _, lhs := range st.Lhs {
+			if isFloatExpr(p.Info, lhs) && !lhsDeclaredIn(p.Info, lhs, rs) {
+				r.Reportf(st.Pos(), "float accumulation inside range over map: float addition is not associative, so the result depends on randomized iteration order (accumulate over sorted keys)")
+			}
+		}
+	case token.ASSIGN:
+		for i, lhs := range st.Lhs {
+			if i >= len(st.Rhs) {
+				break
+			}
+			rhs := st.Rhs[i]
+			// Spelled-out accumulation: sum = sum + v.
+			if bin, ok := ast.Unparen(rhs).(*ast.BinaryExpr); ok && isFloatExpr(p.Info, lhs) && !lhsDeclaredIn(p.Info, lhs, rs) {
+				if obj := objectOfRoot(p.Info, lhs); obj != nil && usesObject(p.Info, bin, obj) {
+					r.Reportf(st.Pos(), "float accumulation inside range over map: float addition is not associative, so the result depends on randomized iteration order (accumulate over sorted keys)")
+					continue
+				}
+			}
+			// Escaping append: v = append(v, ...) with v declared outside
+			// the loop and never sorted after it.
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !isBuiltin(p.Info, call, "append") {
+				continue
+			}
+			obj := objectOfRoot(p.Info, lhs)
+			if obj == nil || declaredWithin(obj, rs) {
+				continue
+			}
+			if sortedAfter(p.Info, funcBody, rs, obj) {
+				continue
+			}
+			r.Reportf(st.Pos(), "append to %s inside range over map escapes in randomized iteration order; sort it after the loop or iterate over sorted keys", obj.Name())
+		}
+	}
+}
+
+func isFloatExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := types.Unalias(tv.Type).Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func objectOfRoot(info *types.Info, e ast.Expr) types.Object {
+	id := rootIdent(e)
+	if id == nil {
+		return nil
+	}
+	return info.ObjectOf(id)
+}
+
+func lhsDeclaredIn(info *types.Info, lhs ast.Expr, n ast.Node) bool {
+	obj := objectOfRoot(info, lhs)
+	// Unresolvable roots (e.g. results of calls) cannot be proven to be
+	// loop-local, so treat them as accumulators.
+	return obj != nil && declaredWithin(obj, n)
+}
+
+// sortFuncs are the stdlib entry points that establish a deterministic
+// order over a just-collected slice.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+		"Strings": true, "Ints": true, "Float64s": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+// canonicalizerMethods are project methods that establish a canonical
+// order over the collected value (portmap's Experiment.Normalize sorts
+// and merges terms), so collect-then-canonicalize is as safe as
+// collect-then-sort.
+var canonicalizerMethods = map[string]bool{"Normalize": true}
+
+// sortedAfter reports whether obj is passed to a recognized sort
+// function or canonicalizer method somewhere after the range statement
+// in the same function body — the collect-then-sort idiom that makes
+// map-order appends safe.
+func sortedAfter(info *types.Info, funcBody *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if found || n == nil || n.Pos() < rs.End() {
+			return !found
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if len(call.Args) > 0 {
+			pkgPath, name := pkgFuncName(calleeFunc(info, call))
+			if names, ok := sortFuncs[pkgPath]; ok && names[name] && usesObject(info, call.Args[0], obj) {
+				found = true
+				return false
+			}
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && canonicalizerMethods[sel.Sel.Name] {
+			if fn, ok := info.Uses[sel.Sel].(*types.Func); ok {
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && usesObject(info, sel.X, obj) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

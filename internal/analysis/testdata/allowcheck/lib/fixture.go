@@ -1,0 +1,13 @@
+// Package lib is the suppression-hygiene fixture: pmevo:allow
+// annotations that are malformed or cover nothing are themselves
+// findings (analyzer name "allow"), so the exception list cannot rot.
+package lib
+
+//pmevo:allow detrand -- stale exception left behind by a refactor // want "matches no finding"
+var usedToViolate = 1
+
+//pmevo:allow detrand // want "without a reason"
+var missingReason = 2
+
+//pmevo:allow nosuchanalyzer -- typo in the analyzer name // want "unknown analyzer"
+var unknownName = 3

@@ -1,0 +1,33 @@
+// Package cachestore is the cachekey fixture twin of
+// pmevo/internal/cachestore: same Save/Load-family surface and Schema*
+// constant naming, so the analyzer audits it exactly like the real
+// persistence seam. The want markers sit on the schema constants
+// because that is where per-schema findings are reported.
+package cachestore
+
+// Entry is a stand-in record type for table spills.
+type Entry struct{ Key, Val uint64 }
+
+const (
+	SchemaGood   uint32 = 1
+	SchemaNoLoad uint32 = 2 // want "no Load call site"
+	SchemaNoSave uint32 = 3 // want "no Save call site"
+	SchemaOrphan uint32 = 4 // want "no Save or Load call site"
+	SchemaNoTest uint32 = 5 // want "not exercised by any test"
+)
+
+func Save(path string, schema uint32, contentKey uint64, entries []Entry) error {
+	return nil
+}
+
+func Load(path string, schema uint32, contentKey uint64) ([]Entry, error) {
+	return nil, nil
+}
+
+func SaveBlob(path string, schema uint32, contentKey uint64, blob []byte) error {
+	return nil
+}
+
+func LoadBlob(path string, schema uint32, contentKey uint64) ([]byte, error) {
+	return nil, nil
+}

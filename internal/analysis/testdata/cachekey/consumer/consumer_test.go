@@ -1,0 +1,15 @@
+// This file is parsed — never compiled or type-checked — by the
+// analysis loader; referencing a schema constant here is what the
+// cachekey test-presence pass looks for. SchemaNoTest is deliberately
+// absent.
+package consumer
+
+import (
+	"testing"
+
+	cs "pmevo/internal/analysis/testdata/cachekey/cachestore"
+)
+
+func TestSchemaRoundTrips(t *testing.T) {
+	_ = []uint32{cs.SchemaGood, cs.SchemaNoLoad, cs.SchemaNoSave, cs.SchemaOrphan}
+}

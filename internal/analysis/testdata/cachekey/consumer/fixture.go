@@ -1,0 +1,44 @@
+// Package consumer exercises the fixture cachestore the way real call
+// sites do, covering each cachekey failure mode exactly once.
+package consumer
+
+import cs "pmevo/internal/analysis/testdata/cachekey/cachestore"
+
+// Good is the healthy pattern: matched Save and Load under one Schema*
+// constant, with a caller-supplied content key.
+func Good(path string, key uint64, entries []cs.Entry) ([]cs.Entry, error) {
+	if err := cs.Save(path, cs.SchemaGood, key, entries); err != nil {
+		return nil, err
+	}
+	return cs.Load(path, cs.SchemaGood, key)
+}
+
+// NoLoad writes a spill nothing ever reads back.
+func NoLoad(path string, key uint64, blob []byte) error {
+	return cs.SaveBlob(path, cs.SchemaNoLoad, key, blob)
+}
+
+// NoSave reads a spill nothing ever writes.
+func NoSave(path string, key uint64) ([]byte, error) {
+	return cs.LoadBlob(path, cs.SchemaNoSave, key)
+}
+
+// NoTest round-trips correctly but its schema never appears in a test.
+func NoTest(path string, key uint64, entries []cs.Entry) ([]cs.Entry, error) {
+	if err := cs.Save(path, cs.SchemaNoTest, key, entries); err != nil {
+		return nil, err
+	}
+	return cs.Load(path, cs.SchemaNoTest, key)
+}
+
+// TrivialKey passes a zero content key, defeating the
+// built-against-different-inputs rejection.
+func TrivialKey(path string, entries []cs.Entry) error {
+	return cs.Save(path, cs.SchemaGood, 0, entries) // want "trivial content key 0"
+}
+
+// AdHocSchema tags the spill with a literal instead of a Schema*
+// constant.
+func AdHocSchema(path string, key uint64, entries []cs.Entry) error {
+	return cs.Save(path, 42, key, entries) // want "not a cachestore.Schema"
+}

@@ -1,0 +1,10 @@
+// Command entry is the ctxflow scope control: package main is where
+// root contexts are made, so context.Background here is not a finding.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+}

@@ -1,0 +1,45 @@
+// Package lib is the ctxflow fixture: context discipline in library
+// code — no minted root contexts, ctx-first signatures, cancelable
+// goroutine spawns.
+package lib
+
+import "context"
+
+func BadBackground() context.Context {
+	return context.Background() // want "context.Background"
+}
+
+func BadTODO() context.Context {
+	return context.TODO() // want "context.TODO"
+}
+
+func BadOrder(n int, ctx context.Context) {} // want "context.Context must be the first parameter"
+
+func BadSpawn(done chan struct{}) { // want "spawns goroutines but takes no context.Context"
+	go func() { close(done) }()
+}
+
+// GoodSpawn threads the caller's context; the spawned work can be
+// canceled.
+func GoodSpawn(ctx context.Context, done chan struct{}) {
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-done:
+		}
+	}()
+}
+
+// GoodFirst has the context in first position.
+func GoodFirst(ctx context.Context, n int) {}
+
+// goodUnexportedSpawn is outside the exported-API contract.
+func goodUnexportedSpawn(done chan struct{}) {
+	go func() { close(done) }()
+}
+
+// AllowedShim mirrors engine/pool.go's back-compat wrappers.
+func AllowedShim() context.Context {
+	//pmevo:allow ctxflow -- fixture twin of the pool.go back-compat shims
+	return context.Background()
+}

@@ -1,0 +1,47 @@
+// Package evo is a detrand fixture: its name places it in the
+// deterministic-package set, so global math/rand state, ad-hoc PRNG
+// sources, and wall-clock reads are all violations here.
+package evo
+
+import (
+	"math/rand"
+	"time"
+)
+
+func BadGlobalDraw(n int) int {
+	return rand.Intn(n) // want "global math/rand.Intn"
+}
+
+func BadGlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global math/rand.Shuffle"
+}
+
+func BadSource(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want "ad-hoc PRNG stream"
+}
+
+func BadTimeSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "ad-hoc PRNG stream" "time-derived seed" "time.Now in deterministic package"
+}
+
+func BadClock() int64 {
+	return time.Now().UnixNano() // want "time.Now in deterministic package"
+}
+
+// GoodInjected draws through an injected stream: method calls on a
+// seeded *rand.Rand are the sanctioned pattern.
+func GoodInjected(rng *rand.Rand, n int) int {
+	return rng.Intn(n)
+}
+
+// GoodNew wraps a caller-built source; the source's construction site
+// is where the contract bites, not the wrapping.
+func GoodNew(src rand.Source) *rand.Rand {
+	return rand.New(src)
+}
+
+// AllowedSource mirrors internal/evo/rng.go: a sanctioned construction
+// site carries an annotation with a reason.
+func AllowedSource(seed int64) rand.Source {
+	return rand.NewSource(seed) //pmevo:allow detrand -- fixture twin of the draw-counting seam
+}

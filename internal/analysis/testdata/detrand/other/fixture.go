@@ -1,0 +1,17 @@
+// Package other is the detrand scope control: it is not in the
+// deterministic-package set, so the very same patterns produce no
+// findings here.
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+func GlobalDrawOutsideScope(n int) int {
+	return rand.Intn(n)
+}
+
+func ClockOutsideScope() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,47 @@
+// Package consumer is the fpguard fixture: direct writes to a
+// portmap.Mapping's decomposition state outside internal/portmap, next
+// to the sanctioned mutator calls and read-only patterns.
+package consumer
+
+import "pmevo/internal/portmap"
+
+func BadWrites(m *portmap.Mapping, uops []portmap.UopCount) {
+	m.Decomp[0] = uops       // want "direct write to Mapping.Decomp"
+	m.Decomp[0][0].Count = 2 // want "direct write to Mapping.Decomp"
+	m.Decomp = nil           // want "direct write to Mapping.Decomp"
+	m.Decomp[0][0].Count++   // want "direct write to Mapping.Decomp"
+}
+
+func BadAppend(m *portmap.Mapping, uc portmap.UopCount) []portmap.UopCount {
+	return append(m.Decomp[0], uc) // want "append onto Mapping.Decomp"
+}
+
+func BadAddress(m *portmap.Mapping) *[]portmap.UopCount {
+	return &m.Decomp[0] // want "taking the address of Mapping.Decomp"
+}
+
+// GoodMutators go through the fingerprint-maintaining API.
+func GoodMutators(m *portmap.Mapping, uops []portmap.UopCount) {
+	m.SetDecomp(0, uops)
+	m.AddUop(0, portmap.SinglePort(0), 1)
+	m.SetUopCount(0, 0, 3)
+	uc := m.RemoveUopAt(0, 0)
+	m.InsertUopAt(0, 0, uc)
+}
+
+// GoodReads: reading decomposition state is unrestricted, including
+// copying it out.
+func GoodReads(m *portmap.Mapping) []portmap.UopCount {
+	n := 0
+	for _, uc := range m.Decomp[0] {
+		n += uc.Count
+	}
+	cp := append([]portmap.UopCount(nil), m.Decomp[0]...)
+	return cp
+}
+
+// GoodOtherField: fields outside the decomposition seam are not
+// guarded.
+func GoodOtherField(m *portmap.Mapping, names []string) {
+	m.InstNames = names
+}

@@ -1,0 +1,99 @@
+// Package lib is the mapiter fixture: order-sensitive effects inside
+// range-over-map loops, next to the near-miss patterns that must stay
+// quiet (integer accumulation, collect-then-sort, loop-local state).
+package lib
+
+import "sort"
+
+func BadFloatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "float accumulation"
+	}
+	return sum
+}
+
+func BadSpelledOutSum(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum = sum + v // want "float accumulation"
+	}
+	return sum
+}
+
+func BadAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to keys"
+	}
+	return keys
+}
+
+func BadSend(m map[string]int, ch chan<- string) {
+	for k := range m {
+		ch <- k // want "channel send"
+	}
+}
+
+// GoodIntSum: integer addition is exact and commutative, so iteration
+// order cannot change the result.
+func GoodIntSum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// GoodSortedKeys is the canonical safe idiom: collect, then sort.
+func GoodSortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// GoodLoopLocal: the accumulator lives inside the loop body, so each
+// iteration's sum is independent of visit order; the escaping slice is
+// sorted after the loop.
+func GoodLoopLocal(m map[string][]float64) []float64 {
+	var out []float64
+	for _, vs := range m {
+		total := 0.0
+		for _, v := range vs {
+			total += v
+		}
+		out = append(out, total)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// List mimics portmap.Experiment: Normalize establishes a canonical
+// order, so collect-then-Normalize is as safe as collect-then-sort.
+type List []int
+
+func (l List) Normalize() List {
+	out := append(List(nil), l...)
+	sort.Ints(out)
+	return out
+}
+
+func GoodCanonicalized(m map[int]int) List {
+	var out List
+	for k := range m {
+		out = append(out, k)
+	}
+	return out.Normalize()
+}
+
+// GoodMapWrite: writes to distinct keys of another map commute.
+func GoodMapWrite(m map[string]int) map[string]int {
+	inv := make(map[string]int, len(m))
+	for k, v := range m {
+		inv[k] = v * 2
+	}
+	return inv
+}

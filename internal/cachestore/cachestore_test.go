@@ -175,6 +175,63 @@ func TestLoadDegradesToEmpty(t *testing.T) {
 	}
 }
 
+// allSchemas pins the full schema registry. The cachekey analyzer
+// (internal/analysis) statically proves each constant has matched
+// Save/Load call sites and appears in a test; this table is the
+// runtime half — each schema's spills must degrade safely when
+// damaged, not just SchemaSimCache's.
+var allSchemas = []struct {
+	name   string
+	schema uint32
+}{
+	{"SchemaSimCache", SchemaSimCache},
+	{"SchemaFitnessMemo", SchemaFitnessMemo},
+	{"SchemaPeriodHints", SchemaPeriodHints},
+	{"SchemaEvoCheckpoint", SchemaEvoCheckpoint},
+	{"SchemaFitnessCache", SchemaFitnessCache},
+}
+
+func TestDamageMatrixCoversEverySchema(t *testing.T) {
+	for _, s := range allSchemas {
+		t.Run(s.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "cache.pmc")
+			want := sampleEntries(8)
+			if err := Save(path, s.schema, 0x51, want); err != nil {
+				t.Fatal(err)
+			}
+			got, err := Load(path, s.schema, 0x51)
+			if err != nil || len(got) != len(want) {
+				t.Fatalf("round trip: %d entries, err %v", len(got), err)
+			}
+			// A payload bit flip must degrade to a checksum sentinel.
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[headerSize] ^= 0x04
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if entries, err := Load(path, s.schema, 0x51); len(entries) != 0 || !errors.Is(err, ErrChecksum) {
+				t.Fatalf("bit flip: %d entries, err %v, want ErrChecksum", len(entries), err)
+			}
+			// A reader expecting any other schema must reject the file.
+			if err := Save(path, s.schema, 0x51, want); err != nil {
+				t.Fatal(err)
+			}
+			for _, other := range allSchemas {
+				if other.schema == s.schema {
+					continue
+				}
+				if entries, err := Load(path, other.schema, 0x51); len(entries) != 0 || !errors.Is(err, ErrSchema) {
+					t.Fatalf("read as %s: %d entries, err %v, want ErrSchema", other.name, len(entries), err)
+				}
+			}
+		})
+	}
+}
+
 // TestLoadRejectsMismatchedIdentity: a structurally valid file written
 // by another consumer or against other inputs must read as empty.
 func TestLoadRejectsMismatchedIdentity(t *testing.T) {

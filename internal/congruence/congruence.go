@@ -96,6 +96,22 @@ func Partition(set *exp.Set, epsilon float64) (*Classes, error) {
 		shapesOf[k.A] = append(shapesOf[k.A], shape{m: k.CountA, other: k.B, n: k.CountB})
 		shapesOf[k.B] = append(shapesOf[k.B], shape{m: k.CountB, other: k.A, n: k.CountA})
 	}
+	// Map iteration filled shapesOf in randomized order; congruent()
+	// below only quantifies over each shape set, but a canonical order
+	// keeps the partition structurally deterministic for debugging and
+	// any future order-sensitive consumer.
+	for i := range shapesOf {
+		sort.Slice(shapesOf[i], func(a, b int) bool {
+			sa, sb := shapesOf[i][a], shapesOf[i][b]
+			if sa.m != sb.m {
+				return sa.m < sb.m
+			}
+			if sa.other != sb.other {
+				return sa.other < sb.other
+			}
+			return sa.n < sb.n
+		})
+	}
 
 	congruent := func(a, b int) bool {
 		if !Equal(set.Individual[a], set.Individual[b], epsilon) {
@@ -186,7 +202,9 @@ func (c *Classes) ProjectSet(set *exp.Set) *exp.Set {
 func (c *Classes) ExpandMapping(repMapping *portmap.Mapping, instNames []string) *portmap.Mapping {
 	full := portmap.NewMapping(c.NumInsts, repMapping.NumPorts)
 	for i := 0; i < c.NumInsts; i++ {
-		full.Decomp[i] = append([]portmap.UopCount(nil), repMapping.Decomp[c.ClassOf[i]]...)
+		// SetDecomp copies and re-canonicalizes (a no-op on an already
+		// canonical decomposition) and keeps the fingerprint cache fresh.
+		full.SetDecomp(i, repMapping.Decomp[c.ClassOf[i]])
 	}
 	full.InstNames = instNames
 	full.PortNames = repMapping.PortNames

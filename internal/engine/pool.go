@@ -79,6 +79,7 @@ func ForEachWorkerCtx(ctx context.Context, n, workers int, fn func(worker, i int
 // invokes fn exactly once for every index and returns after all
 // invocations have completed.
 func ForEachWorker(n, workers int, fn func(worker, i int)) {
+	//pmevo:allow ctxflow -- back-compat shim: the pre-PR-8 non-ctx surface; cancelable callers use ForEachWorkerCtx
 	ForEachWorkerCtx(context.Background(), n, workers, fn)
 }
 
@@ -119,6 +120,7 @@ func ForEachWorkerErrCtx(ctx context.Context, n, workers int, fn func(worker, i 
 
 // ForEachWorkerErr is ForEachWorkerErrCtx without a cancellation scope.
 func ForEachWorkerErr(n, workers int, fn func(worker, i int) error) error {
+	//pmevo:allow ctxflow -- back-compat shim: the pre-PR-8 non-ctx surface; cancelable callers use ForEachWorkerErrCtx
 	return ForEachWorkerErrCtx(context.Background(), n, workers, fn)
 }
 

@@ -789,7 +789,13 @@ func runIslands(ctx context.Context, set *exp.Set, opts Options, svc *engine.Ser
 	// stream is seeded by the k-th draw, so the layout is a pure
 	// function of (Seed, Islands) — independent of Workers and of which
 	// goroutine runs which island.
-	master := rand.New(rand.NewSource(opts.Seed))
+	// The master stream also goes through the draw-counting seam: it is
+	// never checkpointed (all its draws happen before any island runs),
+	// but routing it through newCountedRand keeps rng.go the only place
+	// a raw source is constructed. The wrapped source delegates to the
+	// same generator, so the sub-seed layout is bit-identical to
+	// rand.New(rand.NewSource(opts.Seed)).
+	master, _ := newCountedRand(opts.Seed)
 	isls := make([]*island, plan.islands)
 	for k := range isls {
 		rng, src := newCountedRand(master.Int63())

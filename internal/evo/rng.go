@@ -21,7 +21,7 @@ type countingSource struct {
 // interface, so the count covers every draw the evolution loop makes
 // (Intn, Float64, Int63, ...).
 func newCountedRand(seed int64) (*rand.Rand, *countingSource) {
-	cs := &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+	cs := &countingSource{src: rand.NewSource(seed).(rand.Source64)} //pmevo:allow detrand -- the draw-counting seam itself: the one sanctioned place a raw source is constructed and wrapped
 	return rand.New(cs), cs
 }
 

@@ -52,6 +52,8 @@ func SignalContext(parent context.Context, deadline time.Duration) (ctx context.
 // reaches its normal spill point). Tools with resumable state
 // (pmevo-infer) use SignalContext instead and let cancellation
 // propagate.
+//
+//pmevo:allow ctxflow -- process-lifetime signal watcher: the returned stop() is its cancellation scope; a ctx would duplicate it
 func OnSignalSpill(spill func()) (stop func()) {
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)

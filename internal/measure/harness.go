@@ -108,7 +108,8 @@ func NewHarness(proc *uarch.Processor, opts Options) (*Harness, error) {
 		proc: proc,
 		mach: mach,
 		opts: opts,
-		rng:  rand.New(rand.NewSource(opts.Seed)),
+		//pmevo:allow detrand -- seeded per-harness noise stream: draws happen in experiment order (MeasureAll contract), reproducible from Options.Seed
+		rng: rand.New(rand.NewSource(opts.Seed)),
 	}, nil
 }
 
