@@ -1,18 +1,25 @@
 // Command pmevo-vet runs pmevo's contract-enforcing static-analysis
-// suite (internal/analysis) over the module: determinism (detrand),
-// map-iteration order (mapiter), context flow (ctxflow), fingerprint
-// mutation seams (fpguard), and cache-key discipline (cachekey), plus
-// hygiene checks on //pmevo:allow suppressions.
+// suite (internal/analysis) over the module: the syntactic analyzers —
+// determinism (detrand), map-iteration order (mapiter), context flow
+// (ctxflow), fingerprint mutation seams (fpguard), cache-key discipline
+// (cachekey) — and the flow-sensitive concurrency-contract analyzers on
+// the CFG/dataflow core — scratch escape (scratchescape), atomic access
+// hygiene (atomichygiene), serial handles (serialhandle), goroutine
+// joins (goroutinejoin), cache-load error flow (errflow) — plus hygiene
+// checks on //pmevo:allow suppressions.
 //
 // Usage:
 //
 //	pmevo-vet [flags] [patterns]
 //
-// Patterns select which packages' findings are reported: "./..."
-// (default) reports everything; "./internal/evo" restricts to one
-// directory; a trailing "/..." matches a subtree. The whole module is
-// always loaded and analyzed — cross-package analyzers need the full
-// picture — only reporting is filtered.
+// Patterns select which packages are loaded and analyzed: "./..."
+// (default) covers the module; "./internal/evo" restricts to one
+// directory; a trailing "/..." matches a subtree. A restrictive pattern
+// loads only the matching packages plus their module-internal imports —
+// fast enough for pre-commit use — and whole-module analyzers
+// (cachekey's cross-package absence checks) stand down on such partial
+// loads rather than report on packages they cannot see. Findings in
+// packages pulled in only as dependencies are filtered from the report.
 //
 // Exit status: 0 when no unsuppressed finding is reported, 1 when at
 // least one is, 2 on load or usage errors.
@@ -39,7 +46,7 @@ func main() {
 		patterns = []string{"./..."}
 	}
 
-	mod, err := analysis.LoadModule(*dir)
+	mod, err := analysis.LoadPatterns(*dir, patterns)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pmevo-vet: %v\n", err)
 		os.Exit(2)

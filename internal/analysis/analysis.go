@@ -6,6 +6,16 @@
 // content-keyed cache spills — into compile-time diagnostics with named
 // culprits, instead of golden-test failures after the fact.
 //
+// Two layers share the framework. The syntactic analyzers (detrand,
+// mapiter, ctxflow, fpguard, cachekey) pattern-match the typed AST
+// directly. The concurrency-contract analyzers (scratchescape,
+// atomichygiene, serialhandle, goroutinejoin, errflow) sit on a
+// flow-sensitive core — a per-function control-flow graph (cfg.go) with
+// a forward origin-tracking dataflow pass over it (dataflow.go) — so
+// they can answer path questions ("is this scratch released on every
+// path to return?", "is this error checked before the function exits?")
+// rather than only shape questions.
+//
 // The suite is driven by cmd/pmevo-vet and by the self-check test in
 // this package, which asserts the module itself stays clean. Deliberate
 // exceptions are annotated in the source with a mandatory reason:
@@ -24,8 +34,11 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"os"
 	"sort"
 	"strings"
+
+	"pmevo/internal/engine"
 )
 
 // An Analyzer checks one contract over the whole module. Analyzers
@@ -44,6 +57,10 @@ type Analyzer interface {
 type Reporter interface {
 	// Reportf records a finding at pos.
 	Reportf(pos token.Pos, format string, args ...any)
+	// ReportRangef records a finding spanning [pos, end) — the form
+	// analyzers prefer when they hold the offending node, so the JSON
+	// artifact carries reviewable ranges.
+	ReportRangef(pos, end token.Pos, format string, args ...any)
 }
 
 // Finding is one diagnostic: a contract violation at a position.
@@ -55,6 +72,13 @@ type Finding struct {
 	File string `json:"file"`
 	Line int    `json:"line"`
 	Col  int    `json:"col"`
+	// EndLine/EndCol delimit the offending node when the analyzer
+	// reported a range (0 otherwise).
+	EndLine int `json:"end_line,omitempty"`
+	EndCol  int `json:"end_col,omitempty"`
+	// Snippet is the source line the finding starts on, whitespace
+	// trimmed, so the JSON artifact reads without a checkout.
+	Snippet string `json:"snippet,omitempty"`
 	// Message states the violation.
 	Message string `json:"message"`
 	// Suppressed reports whether a pmevo:allow annotation covers the
@@ -99,14 +123,24 @@ type reporter struct {
 }
 
 func (r *reporter) Reportf(pos token.Pos, format string, args ...any) {
+	r.ReportRangef(pos, token.NoPos, format, args...)
+}
+
+func (r *reporter) ReportRangef(pos, end token.Pos, format string, args ...any) {
 	p := r.m.Fset.Position(pos)
-	*r.findings = append(*r.findings, Finding{
+	f := Finding{
 		Analyzer: r.name,
 		File:     r.m.relFile(p.Filename),
 		Line:     p.Line,
 		Col:      p.Column,
+		Snippet:  r.m.sourceLine(p.Filename, p.Line),
 		Message:  fmt.Sprintf(format, args...),
-	})
+	}
+	if end.IsValid() {
+		e := r.m.Fset.Position(end)
+		f.EndLine, f.EndCol = e.Line, e.Column
+	}
+	*r.findings = append(*r.findings, f)
 }
 
 // relFile renders a file path relative to the module root for stable,
@@ -118,7 +152,31 @@ func (m *Module) relFile(path string) string {
 	return path
 }
 
-// Suite returns the full analyzer suite in reporting order.
+// sourceLine returns the 1-based line of the file, trimmed, from a
+// per-module cache; analyzers run concurrently, so the cache locks.
+func (m *Module) sourceLine(filename string, line int) string {
+	m.linesMu.Lock()
+	defer m.linesMu.Unlock()
+	if m.lines == nil {
+		m.lines = map[string][]string{}
+	}
+	lines, ok := m.lines[filename]
+	if !ok {
+		data, err := os.ReadFile(filename)
+		if err == nil {
+			lines = strings.Split(string(data), "\n")
+		}
+		m.lines[filename] = lines
+	}
+	if line < 1 || line > len(lines) {
+		return ""
+	}
+	return strings.TrimSpace(lines[line-1])
+}
+
+// Suite returns the full analyzer suite in reporting order: the five
+// syntactic contract analyzers from PR 9 and the five flow-sensitive
+// concurrency-contract analyzers built on the CFG/dataflow core.
 func Suite() []Analyzer {
 	return []Analyzer{
 		&detrand{},
@@ -126,6 +184,11 @@ func Suite() []Analyzer {
 		&ctxflow{},
 		&fpguard{},
 		&cachekey{},
+		&scratchescape{},
+		&atomichygiene{},
+		&serialhandle{},
+		&goroutinejoin{},
+		&errflow{},
 	}
 }
 
@@ -137,10 +200,18 @@ func Run(m *Module, analyzers []Analyzer) ([]Finding, []Allow, error) {
 	for _, a := range analyzers {
 		known[a.Name()] = true
 	}
-	var findings []Finding
 	allows, allowFindings := collectAllows(m, known)
-	for _, a := range analyzers {
-		a.Run(m, &reporter{name: a.Name(), m: m, findings: &findings})
+	// Analyzers only read the module, so they run concurrently, each
+	// into its own slice; merging in suite order keeps the pre-sort
+	// ordering deterministic.
+	perAnalyzer := make([][]Finding, len(analyzers))
+	engine.ForEachWorker(len(analyzers), 0, func(_, i int) {
+		a := analyzers[i]
+		a.Run(m, &reporter{name: a.Name(), m: m, findings: &perAnalyzer[i]})
+	})
+	var findings []Finding
+	for _, fs := range perAnalyzer {
+		findings = append(findings, fs...)
 	}
 	// Apply suppressions: an allow covers findings of its analyzers on
 	// its own line and the next line of the same file.

@@ -40,6 +40,33 @@ func TestCachekeyFixture(t *testing.T) {
 		"internal/analysis/testdata/cachekey/consumer")
 }
 
+func TestScratchescapeFixture(t *testing.T) {
+	runFixture(t, []Analyzer{&scratchescape{}},
+		"internal/analysis/testdata/scratchescape/engine")
+}
+
+func TestAtomichygieneFixture(t *testing.T) {
+	runFixture(t, []Analyzer{&atomichygiene{}},
+		"internal/analysis/testdata/atomichygiene/cachetable")
+}
+
+func TestSerialhandleFixture(t *testing.T) {
+	runFixture(t, []Analyzer{&serialhandle{}},
+		"internal/analysis/testdata/serialhandle/lib")
+}
+
+func TestGoroutinejoinFixture(t *testing.T) {
+	runFixture(t, []Analyzer{&goroutinejoin{}},
+		"internal/analysis/testdata/goroutinejoin/lib",
+		"internal/analysis/testdata/goroutinejoin/entry")
+}
+
+func TestErrflowFixture(t *testing.T) {
+	runFixture(t, []Analyzer{&errflow{}},
+		"internal/analysis/testdata/errflow/cachestore",
+		"internal/analysis/testdata/errflow/consumer")
+}
+
 func TestAllowHygieneFixture(t *testing.T) {
 	runFixture(t, Suite(),
 		"internal/analysis/testdata/allowcheck/lib")

@@ -1,0 +1,208 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// atomichygiene enforces all-or-nothing atomicity on fields: a field
+// that participates in sync/atomic anywhere in the module may never be
+// read or written plainly anywhere else. Mixed access is exactly the
+// cachetable failure mode — the XOR-tagged slots and the service
+// counters are only coherent because *every* access goes through
+// atomic.Load/Store/Add; one plain read compiles fine, usually passes,
+// and tears under pmevo-serve's concurrent traffic unless -race happens
+// to schedule the collision.
+//
+// Two styles are covered. Fields declared with a sync/atomic type
+// (atomic.Uint64, atomic.Int64, atomic.Pointer[T], ...) may only be
+// used as a method receiver (x.f.Load()) or have their address taken —
+// anything else (a value copy, an assignment) bypasses the API. Fields
+// of plain type whose address reaches a sync/atomic function anywhere
+// (atomic.AddInt64(&x.f, 1)) may only appear as &f directly inside such
+// a call; a bare read or write races with the atomic sites, which the
+// finding names.
+type atomichygiene struct{}
+
+func (*atomichygiene) Name() string { return "atomichygiene" }
+
+func (*atomichygiene) Doc() string {
+	return "a field accessed via sync/atomic anywhere may never be read or written plainly elsewhere"
+}
+
+// atomicUse records how the module touches one atomic-participating
+// variable.
+type atomicUse struct {
+	declared bool      // the var's type is from sync/atomic
+	site     token.Pos // one sync/atomic call involving the var (style a)
+}
+
+func (*atomichygiene) Run(m *Module, r Reporter) {
+	// Pass 1: collect the atomic-participating fields module-wide.
+	// Object identity spans packages: the whole module shares one
+	// type-checking universe, so a cachetable field seen from evo is the
+	// same *types.Var.
+	vars := map[*types.Var]*atomicUse{}
+	for _, p := range m.Packages {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.Ident:
+					if v, ok := p.Info.Defs[n].(*types.Var); ok && isAtomicType(v.Type()) {
+						vars[v] = &atomicUse{declared: true}
+					}
+				case *ast.CallExpr:
+					if !isAtomicPkgCall(p.Info, n) {
+						return true
+					}
+					for _, a := range n.Args {
+						if v := addressedVar(p.Info, a); v != nil && !isAtomicType(v.Type()) {
+							if vars[v] == nil {
+								vars[v] = &atomicUse{site: n.Pos()}
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(vars) == 0 {
+		return
+	}
+
+	// Pass 2: audit every use. Sanctioned uses are collected first
+	// (method receivers, address-of, direct &f arguments of atomic
+	// calls), then any remaining mention is a violation.
+	for _, p := range m.Packages {
+		for _, f := range p.Files {
+			sanctioned := map[*ast.Ident]bool{}
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					// x.f.M(): the receiver read of a declared-atomic field
+					// is the API, not a plain access.
+					if _, isMethod := p.Info.Uses[n.Sel].(*types.Func); !isMethod {
+						return true
+					}
+					if id := fieldUseIdent(p.Info, n.X, vars, true); id != nil {
+						sanctioned[id] = true
+					}
+				case *ast.UnaryExpr:
+					// &x.f of a declared-atomic field delegates to the
+					// pointer; for style (a) fields the address is only
+					// sanctioned directly inside an atomic call (below).
+					if n.Op != token.AND {
+						return true
+					}
+					if id := fieldUseIdent(p.Info, n.X, vars, true); id != nil {
+						sanctioned[id] = true
+					}
+				case *ast.CallExpr:
+					if !isAtomicPkgCall(p.Info, n) {
+						return true
+					}
+					for _, a := range n.Args {
+						if u, ok := ast.Unparen(a).(*ast.UnaryExpr); ok && u.Op == token.AND {
+							if id := fieldUseIdent(p.Info, u.X, vars, false); id != nil {
+								sanctioned[id] = true
+							}
+						}
+					}
+				case *ast.CompositeLit:
+					// Field keys in a literal initialize a value nothing
+					// else can see yet — pre-publication, not an access.
+					for _, el := range n.Elts {
+						if kv, ok := el.(*ast.KeyValueExpr); ok {
+							if id, ok := kv.Key.(*ast.Ident); ok {
+								sanctioned[id] = true
+							}
+						}
+					}
+				}
+				return true
+			})
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok || sanctioned[id] {
+					return true
+				}
+				v, ok := p.Info.Uses[id].(*types.Var)
+				if !ok {
+					return true
+				}
+				u, tracked := vars[v]
+				if !tracked {
+					return true
+				}
+				if u.declared {
+					r.ReportRangef(id.Pos(), id.End(), "plain use of atomic-typed field %s bypasses its Load/Store API; a value copy tears under concurrent access", id.Name)
+				} else {
+					site := m.Fset.Position(u.site)
+					r.ReportRangef(id.Pos(), id.End(), "plain access to %s races with its sync/atomic use at %s:%d; every access must go through sync/atomic",
+						id.Name, m.relFile(site.Filename), site.Line)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isAtomicType reports whether t is a named type from sync/atomic.
+func isAtomicType(t types.Type) bool {
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	return n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync/atomic"
+}
+
+// isAtomicPkgCall reports whether the call invokes a sync/atomic
+// package-level function (AddInt64, LoadUint64, CompareAndSwap...).
+func isAtomicPkgCall(info *types.Info, call *ast.CallExpr) bool {
+	pkgPath, _ := pkgFuncName(calleeFunc(info, call))
+	return pkgPath == "sync/atomic"
+}
+
+// addressedVar unwraps &path to the field or variable at the path's
+// tip, or nil if the argument is not a direct address-of.
+func addressedVar(info *types.Info, arg ast.Expr) *types.Var {
+	u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil
+	}
+	switch x := ast.Unparen(u.X).(type) {
+	case *ast.SelectorExpr:
+		v, _ := info.Uses[x.Sel].(*types.Var)
+		return v
+	case *ast.Ident:
+		v, _ := info.Uses[x].(*types.Var)
+		return v
+	}
+	return nil
+}
+
+// fieldUseIdent resolves an expression to the identifier of a tracked
+// variable use at its tip (x.f or a bare ident), filtered to declared
+// atomics when declaredOnly is set.
+func fieldUseIdent(info *types.Info, e ast.Expr, vars map[*types.Var]*atomicUse, declaredOnly bool) *ast.Ident {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		id = x.Sel
+	case *ast.Ident:
+		id = x
+	default:
+		return nil
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok {
+		return nil
+	}
+	u, ok := vars[v]
+	if !ok || (declaredOnly && !u.declared) {
+		return nil
+	}
+	return id
+}

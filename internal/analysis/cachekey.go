@@ -85,15 +85,23 @@ func (*cachekey) Run(m *Module, r Reporter) {
 					}
 				}
 			} else {
-				r.Reportf(schemaArg.Pos(), "%s.%s called with a schema that is not a cachestore.Schema* constant; ad-hoc schema tags collide silently", store.Name, fname)
+				r.ReportRangef(schemaArg.Pos(), schemaArg.End(), "%s.%s called with a schema that is not a cachestore.Schema* constant; ad-hoc schema tags collide silently", store.Name, fname)
 			}
 			if tv, ok := p.Info.Types[keyArg]; ok && tv.Value != nil {
 				if v, isInt := constant.Uint64Val(tv.Value); isInt && v == 0 {
-					r.Reportf(keyArg.Pos(), "trivial content key 0 in %s.%s call: a zero key defeats the built-against-different-inputs rejection; hash the inputs the cache depends on", store.Name, fname)
+					r.ReportRangef(keyArg.Pos(), keyArg.End(), "trivial content key 0 in %s.%s call: a zero key defeats the built-against-different-inputs rejection; hash the inputs the cache depends on", store.Name, fname)
 				}
 			}
 			return true
 		})
+	}
+
+	// A partial load sees only a slice of the module's call sites and
+	// tests, so the absence checks below would report schemas as orphaned
+	// merely because their consumers were not loaded. The per-call-site
+	// checks above remain sound — they judge only what is visible.
+	if m.Partial {
+		return
 	}
 
 	// Pass 2: test presence — each schema constant must appear in at

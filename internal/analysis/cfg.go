@@ -1,0 +1,484 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the control-flow half of the flow-sensitive analysis
+// core: a per-function CFG over go/ast, built without any dependency
+// beyond the standard library. Statements become nodes in basic blocks;
+// control predicates (if/for conditions, switch tags, case expressions)
+// are inserted as bare ast.Expr nodes at their evaluation point, so a
+// dataflow visitor can see every read of a value in condition position
+// — the convention the analyzers rely on is: an ast.Expr node in
+// Block.Nodes is exactly a control-predicate read.
+//
+// Defer statements are kept at their registration point. For the
+// all-paths queries the analyzers ask ("does a release happen on every
+// path from here to exit?") that placement is exact: a defer registered
+// on a path runs when that path exits, so treating the registration as
+// the event never misses a covered path and only over-covers paths that
+// panic between registration and exit — which the suite deliberately
+// ignores, like every other analyzer here ignores panicking edges.
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Blocks []*Block
+	Entry  *Block
+	// Exit is the single synthetic exit block: every return and the
+	// fall-off-the-end path feed it. It carries no nodes.
+	Exit *Block
+	// Spawns lists every go statement in the body, including ones inside
+	// nested function literals (their spawn still happens under this
+	// function's control; the literal's own statements are NOT part of
+	// this CFG).
+	Spawns []*ast.GoStmt
+	// Returns lists every return statement of the body itself.
+	Returns []*ast.ReturnStmt
+	// typeSwitchSubject maps each case clause of a type switch to the
+	// switched subject expression, so the dataflow transfer can bind the
+	// clause's implicit object to the subject's value set.
+	typeSwitchSubject map[*ast.CaseClause]ast.Expr
+}
+
+// Block is one basic block: a straight-line node sequence with edges to
+// its successors. Nodes are simple statements (assignments, sends,
+// declarations, go/defer/return statements, range headers, case
+// clauses) or bare expressions for control predicates.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// ctrlFrame is one enclosing breakable construct during construction.
+type ctrlFrame struct {
+	breakTo    *Block
+	continueTo *Block // nil for switch/select frames
+	label      string
+}
+
+type cfgBuilder struct {
+	c      *CFG
+	cur    *Block // nil: current point unreachable
+	frames []ctrlFrame
+	// labels maps label names to their blocks (created on first mention,
+	// forward gotos included).
+	labels map[string]*Block
+	// pendingLabel is the label wrapping the next for/range/switch/select,
+	// so labeled break/continue resolve to the right frame.
+	pendingLabel string
+	// fallNext is the fallthrough target stack (next case body per
+	// enclosing switch).
+	fallNext []*Block
+}
+
+// BuildCFG constructs the CFG of a function body. The body may be nil
+// (externally implemented functions); the result then has an empty
+// entry wired to exit.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	c := &CFG{typeSwitchSubject: map[*ast.CaseClause]ast.Expr{}}
+	b := &cfgBuilder{c: c, labels: map[string]*Block{}}
+	c.Entry = b.newBlock()
+	c.Exit = b.newBlock()
+	b.cur = c.Entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	if b.cur != nil {
+		b.edge(b.cur, c.Exit)
+	}
+	for _, blk := range c.Blocks {
+		for _, s := range blk.Succs {
+			s.Preds = append(s.Preds, blk)
+		}
+	}
+	return c
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.c.Blocks)}
+	b.c.Blocks = append(b.c.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) { from.Succs = append(from.Succs, to) }
+
+// block returns the current block, opening an unreachable one if
+// control cannot reach this point (dead code still gets analyzed, it
+// just has no predecessors).
+func (b *cfgBuilder) block() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	blk := b.block()
+	blk.Nodes = append(blk.Nodes, n)
+	// Spawns are collected from everywhere in the node, including
+	// statements nested in function literals: the literal's body is not
+	// control flow of this function, but the spawn itself is.
+	ast.Inspect(n, func(x ast.Node) bool {
+		if g, ok := x.(*ast.GoStmt); ok {
+			b.c.Spawns = append(b.c.Spawns, g)
+		}
+		return true
+	})
+}
+
+func (b *cfgBuilder) addExpr(e ast.Expr) {
+	if e != nil {
+		b.add(e)
+	}
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label for a breakable construct.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.addExpr(s.Cond)
+		head := b.block()
+		then := b.newBlock()
+		b.edge(head, then)
+		join := b.newBlock()
+		var elseB *Block
+		if s.Else != nil {
+			elseB = b.newBlock()
+			b.edge(head, elseB)
+		} else {
+			b.edge(head, join)
+		}
+		b.cur = then
+		b.stmt(s.Body)
+		if b.cur != nil {
+			b.edge(b.cur, join)
+		}
+		if s.Else != nil {
+			b.cur = elseB
+			b.stmt(s.Else)
+			if b.cur != nil {
+				b.edge(b.cur, join)
+			}
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock()
+		b.edge(b.block(), head)
+		b.cur = head
+		b.addExpr(s.Cond)
+		condEnd := b.block() // addExpr never splits, but keep the handle honest
+		after := b.newBlock()
+		if s.Cond != nil {
+			b.edge(condEnd, after)
+		}
+		body := b.newBlock()
+		b.edge(condEnd, body)
+		cont := head
+		var postB *Block
+		if s.Post != nil {
+			postB = b.newBlock()
+			cont = postB
+		}
+		b.frames = append(b.frames, ctrlFrame{breakTo: after, continueTo: cont, label: label})
+		b.cur = body
+		b.stmt(s.Body)
+		b.frames = b.frames[:len(b.frames)-1]
+		if b.cur != nil {
+			b.edge(b.cur, cont)
+		}
+		if postB != nil {
+			b.cur = postB
+			b.add(s.Post)
+			b.edge(postB, head)
+		}
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		b.edge(b.block(), head)
+		b.cur = head
+		b.add(s) // the header node: transfer binds Key/Value from X
+		after := b.newBlock()
+		b.edge(head, after)
+		body := b.newBlock()
+		b.edge(head, body)
+		b.frames = append(b.frames, ctrlFrame{breakTo: after, continueTo: head, label: label})
+		b.cur = body
+		b.stmt(s.Body)
+		b.frames = b.frames[:len(b.frames)-1]
+		if b.cur != nil {
+			b.edge(b.cur, head)
+		}
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.addExpr(s.Tag)
+		b.caseClauses(s.Body.List, label, func(clause *ast.CaseClause, blk *Block) {
+			for _, e := range clause.List {
+				blk.Nodes = append(blk.Nodes, e)
+			}
+		})
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		subject := typeSwitchSubject(s)
+		b.addExpr(subject)
+		b.caseClauses(s.Body.List, label, func(clause *ast.CaseClause, blk *Block) {
+			b.c.typeSwitchSubject[clause] = subject
+			blk.Nodes = append(blk.Nodes, clause)
+		})
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.block()
+		after := b.newBlock()
+		b.frames = append(b.frames, ctrlFrame{breakTo: after, label: label})
+		for _, cs := range s.Body.List {
+			comm := cs.(*ast.CommClause)
+			blk := b.newBlock()
+			b.edge(head, blk)
+			b.cur = blk
+			if comm.Comm != nil {
+				b.add(comm.Comm)
+			}
+			b.stmtList(comm.Body)
+			if b.cur != nil {
+				b.edge(b.cur, after)
+			}
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		// A select with no clauses blocks forever: after then has no
+		// predecessor, which is exactly right.
+		b.cur = after
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.c.Returns = append(b.c.Returns, s)
+		b.edge(b.block(), b.c.Exit)
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		b.block()
+		switch s.Tok {
+		case token.BREAK:
+			if f := b.findFrame(s.Label, false); f != nil {
+				b.edge(b.cur, f.breakTo)
+			}
+		case token.CONTINUE:
+			if f := b.findFrame(s.Label, true); f != nil {
+				b.edge(b.cur, f.continueTo)
+			}
+		case token.GOTO:
+			if s.Label != nil {
+				b.edge(b.cur, b.labelBlock(s.Label.Name))
+			}
+		case token.FALLTHROUGH:
+			if len(b.fallNext) > 0 && b.fallNext[len(b.fallNext)-1] != nil {
+				b.edge(b.cur, b.fallNext[len(b.fallNext)-1])
+			}
+		}
+		b.cur = nil
+
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		b.edge(b.block(), lb)
+		b.cur = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.GoStmt, *ast.DeferStmt, *ast.ExprStmt, *ast.AssignStmt, *ast.SendStmt,
+		*ast.IncDecStmt, *ast.DeclStmt:
+		b.add(s)
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		b.add(s)
+	}
+}
+
+// caseClauses wires the shared switch shape: every clause body branches
+// from the current block, falls to the join, and may fall through to
+// the next clause; a missing default adds a direct head→join edge.
+func (b *cfgBuilder) caseClauses(list []ast.Stmt, label string, head func(*ast.CaseClause, *Block)) {
+	headBlk := b.block()
+	after := b.newBlock()
+	b.frames = append(b.frames, ctrlFrame{breakTo: after, label: label})
+	bodies := make([]*Block, len(list))
+	hasDefault := false
+	for i, cs := range list {
+		bodies[i] = b.newBlock()
+		if len(cs.(*ast.CaseClause).List) == 0 {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(headBlk, after)
+	}
+	for i, cs := range list {
+		clause := cs.(*ast.CaseClause)
+		blk := bodies[i]
+		b.edge(headBlk, blk)
+		head(clause, blk)
+		next := (*Block)(nil)
+		if i+1 < len(bodies) {
+			next = bodies[i+1]
+		}
+		b.fallNext = append(b.fallNext, next)
+		b.cur = blk
+		b.stmtList(clause.Body)
+		b.fallNext = b.fallNext[:len(b.fallNext)-1]
+		if b.cur != nil {
+			b.edge(b.cur, after)
+		}
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+// findFrame resolves a break/continue target: the innermost frame, or
+// the labeled one; continue skips frames without a continue target.
+func (b *cfgBuilder) findFrame(label *ast.Ident, needContinue bool) *ctrlFrame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if needContinue && f.continueTo == nil {
+			continue
+		}
+		if label == nil || f.label == label.Name {
+			return f
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) labelBlock(name string) *Block {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	b.labels[name] = blk
+	return blk
+}
+
+// typeSwitchSubject extracts the switched expression of a type switch
+// (the X of `v := x.(type)` or `x.(type)`).
+func typeSwitchSubject(s *ast.TypeSwitchStmt) ast.Expr {
+	var e ast.Expr
+	switch a := s.Assign.(type) {
+	case *ast.AssignStmt:
+		if len(a.Rhs) == 1 {
+			e = a.Rhs[0]
+		}
+	case *ast.ExprStmt:
+		e = a.X
+	}
+	if ta, ok := ast.Unparen(e).(*ast.TypeAssertExpr); ok {
+		return ta.X
+	}
+	return e
+}
+
+// CanReach reports whether `to` is reachable from `from` along CFG
+// edges (from == to counts only if it lies on a cycle).
+func (c *CFG) CanReach(from, to *Block) bool {
+	seen := make([]bool, len(c.Blocks))
+	stack := []*Block{}
+	push := func(b *Block) {
+		if !seen[b.Index] {
+			seen[b.Index] = true
+			stack = append(stack, b)
+		}
+	}
+	for _, s := range from.Succs {
+		push(s)
+	}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if b == to {
+			return true
+		}
+		for _, s := range b.Succs {
+			push(s)
+		}
+	}
+	return false
+}
+
+// ReachesExitAvoiding reports whether execution starting at node index
+// `from` of block `b` can reach the exit without passing a node for
+// which covered() is true — the all-paths query behind "a release must
+// dominate every return". covered is evaluated on whole CFG nodes; a
+// release anywhere inside a node covers it.
+func (c *CFG) ReachesExitAvoiding(b *Block, from int, covered func(ast.Node) bool) bool {
+	for _, n := range b.Nodes[from:] {
+		if covered(n) {
+			return false // straight-line: every continuation passes it
+		}
+	}
+	seen := make([]bool, len(c.Blocks))
+	var dfs func(blk *Block) bool
+	dfs = func(blk *Block) bool {
+		if blk == c.Exit {
+			return true
+		}
+		if seen[blk.Index] {
+			return false
+		}
+		seen[blk.Index] = true
+		for _, n := range blk.Nodes {
+			if covered(n) {
+				return false
+			}
+		}
+		for _, s := range blk.Succs {
+			if dfs(s) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, s := range b.Succs {
+		if dfs(s) {
+			return true
+		}
+	}
+	return false
+}

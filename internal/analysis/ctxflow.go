@@ -34,7 +34,7 @@ func (*ctxflow) Run(m *Module, r Reporter) {
 				switch n := n.(type) {
 				case *ast.CallExpr:
 					if pkgPath, name := pkgFuncName(calleeFunc(p.Info, n)); pkgPath == "context" && (name == "Background" || name == "TODO") {
-						r.Reportf(n.Pos(), "context.%s() in library code severs the caller's cancellation scope; accept a context.Context parameter instead", name)
+						r.ReportRangef(n.Pos(), n.End(), "context.%s() in library code severs the caller's cancellation scope; accept a context.Context parameter instead", name)
 					}
 				case *ast.FuncDecl:
 					checkCtxParams(p, r, n)
@@ -60,13 +60,13 @@ func checkCtxParams(p *Package, r Reporter, fn *ast.FuncDecl) {
 		if ok && isContextType(tv.Type) {
 			hasCtx = true
 			if paramIdx != 0 {
-				r.Reportf(field.Pos(), "%s: context.Context must be the first parameter so cancellation scope reads uniformly across the API", fn.Name.Name)
+				r.ReportRangef(field.Pos(), field.End(), "%s: context.Context must be the first parameter so cancellation scope reads uniformly across the API", fn.Name.Name)
 			}
 		}
 		paramIdx += width
 	}
 	if !hasCtx && fn.Body != nil && spawnsGoroutine(fn.Body) {
-		r.Reportf(fn.Pos(), "%s spawns goroutines but takes no context.Context; spawned work must be cancelable (see engine.ForEachWorkerCtx)", fn.Name.Name)
+		r.ReportRangef(fn.Pos(), fn.End(), "%s spawns goroutines but takes no context.Context; spawned work must be cancelable (see engine.ForEachWorkerCtx)", fn.Name.Name)
 	}
 }
 

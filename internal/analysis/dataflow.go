@@ -1,0 +1,365 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file is the value-flow half of the analysis core: a forward
+// dataflow over the CFG that tracks which "origins" — analyzer-chosen
+// source expressions such as a sync.Pool.Get result or a cache-load
+// error — each local variable may hold at each program point.
+//
+// The abstraction is deliberately coarse and sound-for-the-contracts:
+// each variable carries a bitmask of origins, assignment propagates
+// masks, and writes through a selector/index/pointer fold the mask into
+// the access path's root object (so a local aggregate that absorbed an
+// origin is treated as carrying it — the alias-set view of locals and
+// their fields). Join is mask union; the lattice is finite, so the
+// fixpoint terminates. Functions with more than 63 origin sites fold
+// the surplus onto the overflow bit — conservatively merged, never
+// dropped.
+
+// originOverflowBit collects origin sites beyond the per-function mask
+// width; queries on it answer for "some late origin".
+const originOverflowBit = uint64(1) << 63
+
+// OriginBit maps the i-th origin site of a function to its mask bit.
+func OriginBit(i int) uint64 {
+	if i >= 63 {
+		return originOverflowBit
+	}
+	return uint64(1) << uint(i)
+}
+
+// varMask is the per-point state: object → origin bitmask.
+type varMask map[types.Object]uint64
+
+func cloneMask(m varMask) varMask {
+	out := make(varMask, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// joinInto unions src into dst, reporting whether dst changed.
+func joinInto(dst varMask, src varMask) bool {
+	changed := false
+	for k, v := range src {
+		if dst[k]|v != dst[k] {
+			dst[k] |= v
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Flow is the fixpoint result of one function's origin analysis.
+type Flow struct {
+	p   *Package
+	cfg *CFG
+	// originAt assigns origin bits to call results: result index r of
+	// call c carries the returned mask (0: none). The hook is consulted
+	// with r == 0 for single-value uses of a call.
+	originAt func(c *ast.CallExpr, result int) uint64
+	in       []varMask // per block, state at block entry
+}
+
+// NewFlow runs the forward origin analysis over fn's CFG to fixpoint.
+func NewFlow(p *Package, cfg *CFG, originAt func(c *ast.CallExpr, result int) uint64) *Flow {
+	f := &Flow{p: p, cfg: cfg, originAt: originAt, in: make([]varMask, len(cfg.Blocks))}
+	for i := range f.in {
+		f.in[i] = varMask{}
+	}
+	work := make([]*Block, len(cfg.Blocks))
+	queued := make([]bool, len(cfg.Blocks))
+	copy(work, cfg.Blocks)
+	for i := range queued {
+		queued[i] = true
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b.Index] = false
+		st := cloneMask(f.in[b.Index])
+		for _, n := range b.Nodes {
+			f.transfer(st, n)
+		}
+		for _, s := range b.Succs {
+			if joinInto(f.in[s.Index], st) && !queued[s.Index] {
+				queued[s.Index] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return f
+}
+
+// Walk replays the analysis, invoking visit on every node with the
+// state holding *before* the node's own effect, in block order.
+func (f *Flow) Walk(visit func(b *Block, idx int, n ast.Node, st varMask)) {
+	for _, b := range f.cfg.Blocks {
+		st := cloneMask(f.in[b.Index])
+		for i, n := range b.Nodes {
+			visit(b, i, n, st)
+			f.transfer(st, n)
+		}
+	}
+}
+
+// ExprMask computes the origin mask an expression's value may carry
+// under state st.
+func (f *Flow) ExprMask(st varMask, e ast.Expr) uint64 {
+	switch e := e.(type) {
+	case nil:
+		return 0
+	case *ast.Ident:
+		if obj := f.p.Info.ObjectOf(e); obj != nil {
+			return st[obj]
+		}
+		return 0
+	case *ast.ParenExpr:
+		return f.ExprMask(st, e.X)
+	case *ast.StarExpr:
+		return f.ExprMask(st, e.X)
+	case *ast.UnaryExpr:
+		return f.ExprMask(st, e.X) // &x aliases x; <-ch approximates to ch's mask
+	case *ast.SelectorExpr:
+		// Qualified reference (pkg.V) reads the named object; a field or
+		// method access inherits the base's alias set.
+		if obj := f.p.Info.ObjectOf(e.Sel); obj != nil {
+			if _, isPkg := f.p.Info.ObjectOf(baseIdent(e.X)).(*types.PkgName); isPkg {
+				return st[obj]
+			}
+		}
+		return f.ExprMask(st, e.X)
+	case *ast.IndexExpr:
+		return f.ExprMask(st, e.X)
+	case *ast.SliceExpr:
+		return f.ExprMask(st, e.X)
+	case *ast.TypeAssertExpr:
+		return f.ExprMask(st, e.X)
+	case *ast.BinaryExpr:
+		return f.ExprMask(st, e.X) | f.ExprMask(st, e.Y)
+	case *ast.CallExpr:
+		// A conversion passes its operand through; a real call
+		// contributes its single-value origin, if any.
+		if tv, ok := f.p.Info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return f.ExprMask(st, e.Args[0])
+		}
+		if f.originAt != nil {
+			return f.originAt(e, 0)
+		}
+		return 0
+	case *ast.CompositeLit:
+		m := uint64(0)
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				m |= f.ExprMask(st, kv.Value)
+				continue
+			}
+			m |= f.ExprMask(st, el)
+		}
+		return m
+	case *ast.FuncLit:
+		// A closure carries whatever its captured variables carry.
+		m := uint64(0)
+		for _, obj := range freeVars(f.p.Info, e) {
+			m |= st[obj]
+		}
+		return m
+	default:
+		return 0
+	}
+}
+
+// transfer applies one CFG node's effect to st.
+func (f *Flow) transfer(st varMask, n ast.Node) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		f.transferAssign(st, n.Lhs, n.Rhs)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				lhs := make([]ast.Expr, len(vs.Names))
+				for i, name := range vs.Names {
+					lhs[i] = name
+				}
+				f.transferAssign(st, lhs, vs.Values)
+			}
+		}
+	case *ast.RangeStmt:
+		m := f.ExprMask(st, n.X)
+		for _, lhs := range []ast.Expr{n.Key, n.Value} {
+			if lhs != nil {
+				f.assignTo(st, lhs, m)
+			}
+		}
+	case *ast.CaseClause:
+		// Type-switch clause: bind the clause's implicit object to the
+		// subject's alias set.
+		if subj, ok := f.cfg.typeSwitchSubject[n]; ok {
+			if obj := f.p.Info.Implicits[n]; obj != nil {
+				st[obj] = f.ExprMask(st, subj)
+			}
+		}
+	}
+}
+
+func (f *Flow) transferAssign(st varMask, lhs, rhs []ast.Expr) {
+	if len(rhs) == 1 && len(lhs) > 1 {
+		switch r := ast.Unparen(rhs[0]).(type) {
+		case *ast.CallExpr:
+			// Conversions are single-valued; this is a real multi-result
+			// call, with per-result origins.
+			for i, lh := range lhs {
+				m := uint64(0)
+				if f.originAt != nil {
+					m = f.originAt(r, i)
+				}
+				f.assignTo(st, lh, m)
+			}
+		case *ast.TypeAssertExpr:
+			if r.Type == nil {
+				return // type-switch guard: clauses bind the implicits
+			}
+			f.assignTo(st, lhs[0], f.ExprMask(st, r.X))
+			f.assignTo(st, lhs[1], 0)
+		default:
+			// Comma-ok map index or channel receive: the value leg
+			// inherits the container's alias set.
+			f.assignTo(st, lhs[0], f.ExprMask(st, rhs[0]))
+			if len(lhs) > 1 {
+				f.assignTo(st, lhs[1], 0)
+			}
+		}
+		return
+	}
+	for i := range lhs {
+		if i < len(rhs) {
+			f.assignTo(st, lhs[i], f.ExprMask(st, rhs[i]))
+		} else {
+			f.assignTo(st, lhs[i], 0)
+		}
+	}
+}
+
+// assignTo applies mask to an assignment target: plain identifiers get
+// a strong update, writes through a path (x.f = v, x[i] = v, *p = v)
+// fold the mask into the path's root object — the container absorbs
+// what was stored into it.
+func (f *Flow) assignTo(st varMask, lhs ast.Expr, mask uint64) {
+	if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+		if id.Name == "_" {
+			return
+		}
+		if obj := f.p.Info.ObjectOf(id); obj != nil {
+			st[obj] = mask
+		}
+		return
+	}
+	if root := rootIdent(lhs); root != nil {
+		if obj := f.p.Info.ObjectOf(root); obj != nil {
+			st[obj] |= mask
+		}
+	}
+}
+
+// baseIdent unwraps parens to a bare identifier, or nil.
+func baseIdent(e ast.Expr) *ast.Ident {
+	id, _ := ast.Unparen(e).(*ast.Ident)
+	return id
+}
+
+// freeVars lists the variables a function literal references but does
+// not declare — its captures (parameters and locals of enclosing
+// scopes, including the enclosing function's receiver).
+func freeVars(info *types.Info, lit *ast.FuncLit) []*types.Var {
+	var out []*types.Var
+	seen := map[*types.Var]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.ObjectOf(id).(*types.Var)
+		if !ok || v.IsField() || seen[v] {
+			return true
+		}
+		// Declared inside the literal (params included) → not free.
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true
+		}
+		// Package-level variables are not captures.
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return true
+		}
+		seen[v] = true
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// AnyMask unions the entry states of every block: the masks each
+// variable may hold at *some* point of the function. Coverage queries
+// (does this call release the claimed value?) evaluate argument masks
+// against it, since they inspect nodes far from the state they hold at.
+func (f *Flow) AnyMask() varMask {
+	any := varMask{}
+	for _, st := range f.in {
+		joinInto(any, st)
+	}
+	return any
+}
+
+// funcUnit is one unit of flow-sensitive analysis: a declared function
+// or a function literal, each analyzed over its own CFG.
+type funcUnit struct {
+	file  *ast.File
+	decl  *ast.FuncDecl // the enclosing declaration; == the unit for non-literals
+	lit   *ast.FuncLit  // nil for declarations
+	name  string
+	ftype *ast.FuncType
+	body  *ast.BlockStmt
+}
+
+// funcBodies visits every function body in the package's non-test
+// files: declarations and (recursively) the function literals inside
+// them, each as its own unit. Analyzers pair this with inspectShallow
+// so no statement is attributed to two units.
+func funcBodies(p *Package, visit func(fn funcUnit)) {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			visit(funcUnit{file: f, decl: fd, name: fd.Name.Name, ftype: fd.Type, body: fd.Body})
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					visit(funcUnit{file: f, decl: fd, lit: lit,
+						name: "function literal in " + fd.Name.Name, ftype: lit.Type, body: lit.Body})
+				}
+				return true
+			})
+		}
+	}
+}
+
+// inspectShallow walks n without descending into function literals —
+// their statements belong to the literal's own funcUnit, not to the
+// node that happens to contain them.
+func inspectShallow(n ast.Node, visit func(ast.Node) bool) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok && x != n {
+			return false
+		}
+		return visit(x)
+	})
+}

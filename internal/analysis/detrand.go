@@ -68,12 +68,12 @@ func (*detrand) Run(m *Module, r Reporter) {
 			pkgPath, name := pkgFuncName(calleeFunc(p.Info, call))
 			switch {
 			case randPkgs[pkgPath] && !randConstructors[name]:
-				r.Reportf(call.Pos(), "global %s.%s draws from process-wide PRNG state; use a seeded *rand.Rand threaded through the call stack (fixed seed ⇒ bit-identical results)", pkgPath, name)
+				r.ReportRangef(call.Pos(), call.End(), "global %s.%s draws from process-wide PRNG state; use a seeded *rand.Rand threaded through the call stack (fixed seed ⇒ bit-identical results)", pkgPath, name)
 			case randPkgs[pkgPath] && randSourceConstructors[name]:
-				r.Reportf(call.Pos(), "%s.%s creates an ad-hoc PRNG stream; route it through the draw-counting seam (internal/evo/rng.go) so checkpoint/resume can replay it", pkgPath, name)
+				r.ReportRangef(call.Pos(), call.End(), "%s.%s creates an ad-hoc PRNG stream; route it through the draw-counting seam (internal/evo/rng.go) so checkpoint/resume can replay it", pkgPath, name)
 				reportTimeSeed(p, r, call)
 			case pkgPath == "time" && name == "Now":
-				r.Reportf(call.Pos(), "time.Now in deterministic package %q: wall-clock values must not feed results; measure timing in drivers, not in the model", p.Name)
+				r.ReportRangef(call.Pos(), call.End(), "time.Now in deterministic package %q: wall-clock values must not feed results; measure timing in drivers, not in the model", p.Name)
 			}
 			return true
 		})
@@ -91,7 +91,7 @@ func reportTimeSeed(p *Package, r Reporter, call *ast.CallExpr) {
 				return true
 			}
 			if pkgPath, name := pkgFuncName(calleeFunc(p.Info, inner)); pkgPath == "time" && name == "Now" {
-				r.Reportf(inner.Pos(), "time-derived seed: a wall-clock-seeded PRNG cannot reproduce a run; seeds must come from options or flags")
+				r.ReportRangef(inner.Pos(), inner.End(), "time-derived seed: a wall-clock-seeded PRNG cannot reproduce a run; seeds must come from options or flags")
 				return false
 			}
 			return true

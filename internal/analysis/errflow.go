@@ -1,0 +1,265 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errflow enforces the cold-start degradation contract on cache loads:
+// an error from cachestore.Load*/engine.Load*/measure.Load*/Warm* means
+// the persisted cache is absent, stale, or corrupt, and the caller must
+// degrade to an empty cache and recompute — the static complement of
+// the faultfs fault-injection matrix, which proves the same property
+// dynamically for the failure modes it samples. Three failure shapes
+// are flagged, flow-sensitively: the error dropped on the floor (a bare
+// call statement or a _ assignment), the error never reaching a check,
+// and the error escaping into the function's own result path (a loader
+// failure must not become the caller's failure; warm caches are an
+// optimization, never a correctness input).
+//
+// Functions that are themselves loaders — name starting with load/warm,
+// case-insensitive — are the propagation layer and exempt: their job is
+// to surface the typed error to the seam where this analyzer takes
+// over.
+type errflow struct{}
+
+func (*errflow) Name() string { return "errflow" }
+
+func (*errflow) Doc() string {
+	return "cachestore.Load*/Warm* errors must reach a handler that degrades to cold start; " +
+		"not _-dropped, not returned into result paths"
+}
+
+// errflowPkgs are the import-path suffixes whose Load*/Warm* calls the
+// contract covers.
+var errflowPkgs = [...]string{"cachestore", "engine", "measure"}
+
+// loadCallErr reports whether the call is a covered loader returning an
+// error, and at which result index the error sits.
+func loadCallErr(info *types.Info, call *ast.CallExpr) (errIdx int, ok bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return 0, false
+	}
+	if !strings.HasPrefix(fn.Name(), "Load") && !strings.HasPrefix(fn.Name(), "Warm") {
+		return 0, false
+	}
+	covered := false
+	for _, suffix := range errflowPkgs {
+		if pathEndsIn(fn.Pkg().Path(), suffix) {
+			covered = true
+		}
+	}
+	if !covered {
+		return 0, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return 0, false
+	}
+	last := sig.Results().Len() - 1
+	if !isErrorType(sig.Results().At(last).Type()) {
+		return 0, false
+	}
+	return last, true
+}
+
+func isErrorType(t types.Type) bool {
+	n, ok := types.Unalias(t).(*types.Named)
+	return ok && n.Obj().Pkg() == nil && n.Obj().Name() == "error"
+}
+
+// isLoaderFunc reports whether the function is itself part of the
+// loading layer by name.
+func isLoaderFunc(name string) bool {
+	l := strings.ToLower(name)
+	return strings.HasPrefix(l, "load") || strings.HasPrefix(l, "warm")
+}
+
+func (*errflow) Run(m *Module, r Reporter) {
+	for _, p := range m.Packages {
+		funcBodies(p, func(fn funcUnit) {
+			if fn.lit == nil && isLoaderFunc(fn.name) {
+				return
+			}
+			runErrflow(p, r, fn)
+		})
+	}
+}
+
+func runErrflow(p *Package, r Reporter, fn funcUnit) {
+	found := false
+	inspectShallow(fn.body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, ok := loadCallErr(p.Info, call); ok {
+				found = true
+			}
+		}
+		return !found
+	})
+	if !found {
+		return
+	}
+
+	cfg := BuildCFG(fn.body)
+	type site struct {
+		call   *ast.CallExpr
+		errIdx int
+		bit    uint64
+	}
+	sites := map[*ast.CallExpr]site{}
+	var order []site
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			// A bare call statement drops every result, error included.
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := ast.Unparen(es.X).(*ast.CallExpr); ok {
+					if _, ok := loadCallErr(p.Info, call); ok {
+						r.ReportRangef(call.Pos(), call.End(), "%s error discarded; a failed cache load must degrade to cold start, not vanish", callName(call))
+						continue
+					}
+				}
+			}
+			inspectShallow(n, func(x ast.Node) bool {
+				call, ok := x.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if errIdx, ok := loadCallErr(p.Info, call); ok {
+					if _, seen := sites[call]; !seen {
+						s := site{call: call, errIdx: errIdx, bit: OriginBit(len(order))}
+						sites[call] = s
+						order = append(order, s)
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(order) == 0 {
+		return
+	}
+	flow := NewFlow(p, cfg, func(c *ast.CallExpr, result int) uint64 {
+		if s, ok := sites[c]; ok {
+			// Single-value context (result 0) covers error-only loaders;
+			// in tuple context only the error leg carries the bit.
+			if result == s.errIdx {
+				return s.bit
+			}
+		}
+		return 0
+	})
+
+	// Walk once, recording how each error bit is consumed.
+	checked := uint64(0) // reached a condition or a non-loader call argument
+	returned := map[*ast.ReturnStmt]uint64{}
+	dropped := map[*ast.AssignStmt]uint64{}
+	flow.Walk(func(_ *Block, _ int, n ast.Node, st varMask) {
+		switch n := n.(type) {
+		case ast.Expr:
+			// Bare exprs in Block.Nodes are control predicates: the
+			// error influenced a branch — it was checked.
+			checked |= flow.ExprMask(st, n)
+		case *ast.AssignStmt:
+			// A _ in the error leg of a loader call drops it.
+			if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+				if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok {
+					if s, ok := sites[call]; ok && s.errIdx < len(n.Lhs) {
+						if id, ok := ast.Unparen(n.Lhs[s.errIdx]).(*ast.Ident); ok && id.Name == "_" {
+							dropped[n] |= s.bit
+						}
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			// In return position a call's arguments flow outward too:
+			// return fmt.Errorf("...: %w", err) still propagates the
+			// loader failure to the caller.
+			for _, res := range n.Results {
+				returned[n] |= retMask(flow, st, res)
+			}
+		case *ast.ExprStmt:
+			// A call that takes the error as an argument handles it
+			// (logging, recording) — unless it's itself a covered
+			// loader, which only produces errors.
+			inspectShallow(n, func(x ast.Node) bool {
+				call, ok := x.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if _, isLoad := sites[call]; !isLoad {
+					for _, a := range call.Args {
+						checked |= flow.ExprMask(st, a)
+					}
+				}
+				return true
+			})
+		}
+	})
+
+	for stmt, bits := range dropped {
+		for _, s := range order {
+			if bits&s.bit != 0 {
+				r.ReportRangef(stmt.Pos(), stmt.End(), "%s error assigned to _; a failed cache load must degrade to cold start, not vanish", callName(s.call))
+			}
+		}
+	}
+	for ret, bits := range returned {
+		for _, s := range order {
+			if bits&s.bit != 0 {
+				r.ReportRangef(ret.Pos(), ret.End(), "%s error returned into the result path; degrade to cold start here instead of failing the caller", callName(s.call))
+			}
+		}
+	}
+	for _, s := range order {
+		if checked&s.bit != 0 {
+			continue
+		}
+		if siteIn(dropped, s.bit) || siteIn(returned, s.bit) {
+			continue // already reported with a sharper message
+		}
+		r.ReportRangef(s.call.Pos(), s.call.End(), "%s error is never checked; test it and degrade to cold start on failure", callName(s.call))
+	}
+}
+
+// retMask is ExprMask extended through call arguments — used only in
+// return position, where handing the value to a wrapping call still
+// sends it to the caller.
+func retMask(flow *Flow, st varMask, e ast.Expr) uint64 {
+	m := flow.ExprMask(st, e)
+	ast.Inspect(e, func(x ast.Node) bool {
+		if call, ok := x.(*ast.CallExpr); ok {
+			for _, a := range call.Args {
+				m |= flow.ExprMask(st, a)
+			}
+		}
+		return true
+	})
+	return m
+}
+
+func siteIn[K comparable](m map[K]uint64, bit uint64) bool {
+	for _, bits := range m {
+		if bits&bit != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// callName renders a call's function expression for messages
+// (pkg.Func, recv.Method, f).
+func callName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	default:
+		return "call"
+	}
+}

@@ -34,12 +34,12 @@ func (*fpguard) Run(m *Module, r Reporter) {
 			case *ast.AssignStmt:
 				for _, lhs := range n.Lhs {
 					if onDecompPath(p, lhs) {
-						r.Reportf(lhs.Pos(), "direct write to Mapping.Decomp outside internal/portmap; %s", fpguardAdvice)
+						r.ReportRangef(lhs.Pos(), lhs.End(), "direct write to Mapping.Decomp outside internal/portmap; %s", fpguardAdvice)
 					}
 				}
 			case *ast.IncDecStmt:
 				if onDecompPath(p, n.X) {
-					r.Reportf(n.X.Pos(), "direct write to Mapping.Decomp outside internal/portmap; %s", fpguardAdvice)
+					r.ReportRangef(n.X.Pos(), n.X.End(), "direct write to Mapping.Decomp outside internal/portmap; %s", fpguardAdvice)
 				}
 			case *ast.CallExpr:
 				// append with a Decomp-rooted first argument may mutate
@@ -49,7 +49,7 @@ func (*fpguard) Run(m *Module, r Reporter) {
 				}
 			case *ast.UnaryExpr:
 				if n.Op == token.AND && onDecompPath(p, n.X) {
-					r.Reportf(n.X.Pos(), "taking the address of Mapping.Decomp state outside internal/portmap enables unguarded mutation; %s", fpguardAdvice)
+					r.ReportRangef(n.X.Pos(), n.X.End(), "taking the address of Mapping.Decomp state outside internal/portmap enables unguarded mutation; %s", fpguardAdvice)
 				}
 			}
 			return true

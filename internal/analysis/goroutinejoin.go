@@ -1,0 +1,322 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// goroutinejoin requires every go statement in library code to carry a
+// provable join or termination path. PR 8's leak tests sample this
+// property at runtime; this analyzer makes it structural. A spawn is
+// accepted when one of the recognized disciplines holds:
+//
+//   - WaitGroup pairing: the goroutine calls Done on a WaitGroup that
+//     the enclosing function Adds to, and the function (or its caller,
+//     for a non-local WaitGroup) Waits on it — engine's worker pools.
+//   - ctx-cancel: the goroutine selects on ctx.Done() or polls
+//     runctrl.Check, so cancellation bounds its lifetime.
+//   - done-channel: the goroutine receives from (or ranges over, or
+//     selects on) a channel that the enclosing function closes or sends
+//     on — lifecycle's signal watcher — or conversely sends on a
+//     channel the function receives from (a result hand-off joins the
+//     goroutine at the receive).
+//   - bounded body: no loops and no channel operations; the goroutine
+//     runs straight-line code to completion and cannot leak.
+//
+// Entry-point packages (package main) are exempt: their goroutines die
+// with the process. Spawns with a lifetime argument the analyzer cannot
+// see (a watcher joined by a different mechanism) carry a pmevo:allow
+// naming the join.
+type goroutinejoin struct{}
+
+func (*goroutinejoin) Name() string { return "goroutinejoin" }
+
+func (*goroutinejoin) Doc() string {
+	return "every go statement in library code needs a provable join or termination path " +
+		"(WaitGroup pairing, close-channel signal, or ctx-cancel select)"
+}
+
+func (*goroutinejoin) Run(m *Module, r Reporter) {
+	for _, p := range m.Packages {
+		if p.Name == "main" {
+			continue
+		}
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if g, ok := n.(*ast.GoStmt); ok {
+						checkJoin(p, r, fd, g)
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+func checkJoin(p *Package, r Reporter, fd *ast.FuncDecl, g *ast.GoStmt) {
+	lit, isLit := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !isLit {
+		// go f(...): joinable only through a WaitGroup argument the
+		// enclosing function pairs with.
+		for _, arg := range g.Call.Args {
+			if v := waitGroupObj(p.Info, arg); v != nil && addsAndWaits(p, fd, g, v) {
+				return
+			}
+		}
+		r.ReportRangef(g.Pos(), g.End(), "go %s: no provable join; pass a WaitGroup the caller Add/Waits, or spawn a closure with a join discipline", callName(g.Call))
+		return
+	}
+	body := lit.Body
+
+	// WaitGroup pairing: Done inside, Add (and Wait, for local groups)
+	// outside.
+	done := false
+	inspectCalls(body, func(call *ast.CallExpr) {
+		if v := waitGroupMethodRecv(p.Info, call, "Done"); v != nil && addsAndWaits(p, fd, g, v) {
+			done = true
+		}
+	})
+	if done {
+		return
+	}
+
+	// ctx-cancel: the body observes a context's Done channel or polls
+	// runctrl.Check in its loop.
+	cancelable := false
+	inspectCalls(body, func(call *ast.CallExpr) {
+		if fn := calleeFunc(p.Info, call); fn != nil {
+			if fn.Name() == "Done" && fn.Type().(*types.Signature).Recv() != nil &&
+				isContextType(fn.Type().(*types.Signature).Recv().Type()) {
+				cancelable = true
+			}
+			if pkgPath, name := pkgFuncName(fn); name == "Check" && pathEndsIn(pkgPath, "runctrl") {
+				cancelable = true
+			}
+		}
+	})
+	if cancelable {
+		return
+	}
+
+	// done-channel: a channel the body blocks on pairs with a
+	// close/send (or receive) in the function outside this goroutine.
+	joined := false
+	for _, ch := range channelsObserved(p.Info, body) {
+		if closesOrSignals(p.Info, fd.Body, lit, ch.obj, ch.recv) {
+			joined = true
+			break
+		}
+	}
+	if joined {
+		return
+	}
+
+	// Bounded body: straight-line work terminates on its own.
+	if isBoundedBody(body) {
+		return
+	}
+	r.ReportRangef(g.Pos(), g.End(), "goroutine has no provable join or termination path (no WaitGroup pairing, ctx-cancel, or done-channel signal visible in %s)", fd.Name.Name)
+}
+
+// inspectCalls visits every call in the node, including nested
+// literals (a join discipline may live one closure deeper).
+func inspectCalls(n ast.Node, visit func(*ast.CallExpr)) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if call, ok := x.(*ast.CallExpr); ok {
+			visit(call)
+		}
+		return true
+	})
+}
+
+// waitGroupObj resolves an expression (wg, &wg, s.wg) to the
+// sync.WaitGroup variable at its root, or nil.
+func waitGroupObj(info *types.Info, e ast.Expr) types.Object {
+	if u, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = u.X
+	}
+	root := rootIdent(e)
+	if root == nil {
+		return nil
+	}
+	obj := info.ObjectOf(root)
+	if obj == nil {
+		return nil
+	}
+	// Accept both wg itself and a struct holding it: the root carries
+	// the pairing identity either way.
+	tv, ok := info.Types[e]
+	if ok && isNamedType(tv.Type, "sync", "WaitGroup") {
+		return obj
+	}
+	return nil
+}
+
+// waitGroupMethodRecv returns the root object of wg in wg.<name>(),
+// when wg is a sync.WaitGroup.
+func waitGroupMethodRecv(info *types.Info, call *ast.CallExpr, name string) types.Object {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return nil
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Type().(*types.Signature).Recv() == nil {
+		return nil
+	}
+	if !isNamedType(fn.Type().(*types.Signature).Recv().Type(), "sync", "WaitGroup") {
+		return nil
+	}
+	root := rootIdent(sel.X)
+	if root == nil {
+		return nil
+	}
+	return info.ObjectOf(root)
+}
+
+// addsAndWaits reports whether the enclosing function pairs the
+// WaitGroup: an Add outside the spawned closure, plus a Wait — or a
+// non-local group, whose Wait lives with the owner.
+func addsAndWaits(p *Package, fd *ast.FuncDecl, g *ast.GoStmt, wg types.Object) bool {
+	hasAdd, hasWait := false, false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == g {
+			return false // the goroutine's own calls don't pair itself
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if v := waitGroupMethodRecv(p.Info, call, "Add"); v == wg {
+				hasAdd = true
+			}
+			if v := waitGroupMethodRecv(p.Info, call, "Wait"); v == wg {
+				hasWait = true
+			}
+		}
+		return true
+	})
+	if !hasAdd {
+		return false
+	}
+	if hasWait {
+		return true
+	}
+	// Add without Wait is a valid split only when the group outlives
+	// the function (a parameter or field — the owner Waits).
+	return !declaredWithin(wg, fd.Body)
+}
+
+// chanObserved is one channel the goroutine body blocks on.
+type chanObserved struct {
+	obj  types.Object
+	recv bool // true: the body receives; false: the body sends
+}
+
+// channelsObserved lists the channels the body receives from (unary
+// <-, range, select comm) or sends on.
+func channelsObserved(info *types.Info, body ast.Node) []chanObserved {
+	var out []chanObserved
+	add := func(e ast.Expr, recv bool) {
+		root := rootIdent(e)
+		if root == nil {
+			return
+		}
+		obj := info.ObjectOf(root)
+		if obj == nil {
+			return
+		}
+		tv, ok := info.Types[e]
+		if !ok {
+			return
+		}
+		if _, isChan := types.Unalias(tv.Type).Underlying().(*types.Chan); !isChan {
+			return
+		}
+		out = append(out, chanObserved{obj: obj, recv: recv})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				add(n.X, true)
+			}
+		case *ast.RangeStmt:
+			add(n.X, true)
+		case *ast.SendStmt:
+			add(n.Chan, false)
+		}
+		return true
+	})
+	return out
+}
+
+// closesOrSignals reports whether the function body, outside the
+// spawned literal, completes the channel's protocol: close/send for a
+// channel the goroutine receives from, a receive for a channel the
+// goroutine sends on. The search spans sibling closures — lifecycle's
+// stop() closes the done channel from a returned function.
+func closesOrSignals(info *types.Info, fnBody ast.Node, lit *ast.FuncLit, ch types.Object, goroutineReceives bool) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if n == lit || found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if goroutineReceives && isBuiltinCloseOf(info, n, ch) {
+				found = true
+			}
+		case *ast.SendStmt:
+			if goroutineReceives && rootObjIs(info, n.Chan, ch) {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if !goroutineReceives && n.Op == token.ARROW && rootObjIs(info, n.X, ch) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if !goroutineReceives && rootObjIs(info, n.X, ch) {
+				found = true
+			}
+		}
+		return !found
+	})
+	if found {
+		return true
+	}
+	// A channel the function did not create (parameter, field) is the
+	// owner's to signal.
+	return !declaredWithin(ch, fnBody)
+}
+
+func isBuiltinCloseOf(info *types.Info, call *ast.CallExpr, ch types.Object) bool {
+	return isBuiltin(info, call, "close") && len(call.Args) == 1 && rootObjIs(info, call.Args[0], ch)
+}
+
+func rootObjIs(info *types.Info, e ast.Expr, obj types.Object) bool {
+	root := rootIdent(e)
+	return root != nil && info.ObjectOf(root) == obj
+}
+
+// isBoundedBody reports whether the goroutine body is loop- and
+// channel-free: it terminates by running out of statements.
+func isBoundedBody(body ast.Node) bool {
+	bounded := true
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SelectStmt:
+			bounded = false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				bounded = false
+			}
+		case *ast.SendStmt:
+			bounded = false
+		}
+		return bounded
+	})
+	return bounded
+}

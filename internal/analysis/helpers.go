@@ -88,6 +88,12 @@ func isContextType(t types.Type) bool {
 	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
 }
 
+// pathEndsIn reports whether the import path is suffix or ends in
+// /suffix — the same fixture-twin-friendly matching isNamedType uses.
+func pathEndsIn(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
 // rootIdent returns the leftmost identifier of an access-path
 // expression (selectors, indexing, dereferences, parens), or nil.
 func rootIdent(e ast.Expr) *ast.Ident {

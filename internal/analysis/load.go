@@ -12,6 +12,21 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
+
+	"pmevo/internal/engine"
+)
+
+// The stdlib source importer re-type-checks the standard library from
+// GOROOT on every fresh instance — by far the dominant cost of a load.
+// All loads in a process share one importer (and therefore one FileSet,
+// which the importer is bound to) so that cost is paid once; the
+// importer is not concurrency-safe, so stdImpMu serializes it. The
+// FileSet itself is safe for concurrent use.
+var (
+	sharedFset = token.NewFileSet()
+	stdImpMu   sync.Mutex
+	sharedStd  = importer.ForCompiler(sharedFset, "source", nil)
 )
 
 // Package is one type-checked package of the module under analysis.
@@ -48,6 +63,14 @@ type Module struct {
 	Fset *token.FileSet
 	// Packages are the loaded packages, sorted by import path.
 	Packages []*Package
+	// Partial reports that the module was loaded from a package pattern
+	// rather than in full: whole-module analyzers (cachekey's "every
+	// cache key has a test" cross-package checks) skip themselves so a
+	// subtree run does not report absences it cannot see.
+	Partial bool
+
+	linesMu sync.Mutex          // guards lines; analyzers run concurrently
+	lines   map[string][]string // source lines by filename, for snippets
 }
 
 // Pkg returns the loaded package with the given import path, or nil.
@@ -71,7 +94,6 @@ type loader struct {
 	root    string
 	pkgs    map[string]*Package // by import path; nil while loading (cycle guard)
 	order   []string            // completion order
-	stdImp  types.Importer
 }
 
 // Import implements types.Importer: module-internal paths load from the
@@ -84,7 +106,9 @@ func (l *loader) Import(path string) (*types.Package, error) {
 		}
 		return p.Types, nil
 	}
-	return l.stdImp.Import(path)
+	stdImpMu.Lock()
+	defer stdImpMu.Unlock()
+	return sharedStd.Import(path)
 }
 
 func (l *loader) isModulePath(path string) bool {
@@ -113,18 +137,14 @@ func (l *loader) load(importPath string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", importPath, err)
 	}
-	var files, testFiles []*ast.File
+	var names, testNames []string
 	for _, e := range ents {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") {
 			continue
 		}
 		if strings.HasSuffix(name, "_test.go") {
-			f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
-			if err != nil {
-				return nil, err
-			}
-			testFiles = append(testFiles, f)
+			testNames = append(testNames, name)
 			continue
 		}
 		ok, err := l.bctx.MatchFile(dir, name)
@@ -134,12 +154,24 @@ func (l *loader) load(importPath string) (*Package, error) {
 		if !ok {
 			continue
 		}
-		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		names = append(names, name)
+	}
+	// Parse the package's files concurrently: the shared FileSet is
+	// safe for concurrent AddFile, and parsing dominates everything but
+	// the first load's stdlib import.
+	all := append(append([]string{}, names...), testNames...)
+	parsed := make([]*ast.File, len(all))
+	errs := make([]error, len(all))
+	engine.ForEach(len(all), 0, func(i int) {
+		parsed[i], errs[i] = parser.ParseFile(l.fset, filepath.Join(dir, all[i]), nil, parser.ParseComments|parser.SkipObjectResolution)
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		files = append(files, f)
 	}
+	files := parsed[:len(names)]
+	testFiles := parsed[len(names):]
 	if len(files) == 0 {
 		return nil, fmt.Errorf("%s: no buildable Go files in %s", importPath, dir)
 	}
@@ -147,6 +179,7 @@ func (l *loader) load(importPath string) (*Package, error) {
 		Types:      map[ast.Expr]types.TypeAndValue{},
 		Defs:       map[*ast.Ident]types.Object{},
 		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
 		Selections: map[*ast.SelectorExpr]*types.Selection{},
 	}
 	conf := types.Config{Importer: l}
@@ -194,14 +227,12 @@ func moduleRoot(dir string) (root, modPath string, err error) {
 }
 
 func newLoader(root, modPath string) *loader {
-	fset := token.NewFileSet()
 	return &loader{
-		fset:    fset,
+		fset:    sharedFset,
 		bctx:    build.Default,
 		modPath: modPath,
 		root:    root,
 		pkgs:    map[string]*Package{},
-		stdImp:  importer.ForCompiler(fset, "source", nil),
 	}
 }
 
@@ -254,6 +285,80 @@ func LoadPackages(dir string, rel ...string) (*Module, error) {
 		dirs[i] = filepath.Join(root, filepath.FromSlash(r))
 	}
 	return loadDirs(root, modPath, dirs)
+}
+
+// LoadPatterns loads the packages matching go-style patterns relative
+// to the module root at or above dir ("./..." everything, "./x" one
+// directory, "./x/..." a subtree) plus their module-internal imports.
+// A restrictive pattern marks the module Partial, which whole-module
+// analyzers consult before reporting cross-package absences.
+func LoadPatterns(dir string, patterns []string) (*Module, error) {
+	for _, pat := range patterns {
+		p := strings.TrimPrefix(pat, "./")
+		if p == "..." || p == "" || p == "." {
+			return LoadModule(dir)
+		}
+	}
+	root, modPath, err := moduleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	var pkgDirs []string
+	seen := map[string]bool{}
+	addDir := func(d string) error {
+		if seen[d] {
+			return nil
+		}
+		ents, err := os.ReadDir(d)
+		if err != nil {
+			return fmt.Errorf("pattern directory %s: %w", d, err)
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				seen[d] = true
+				pkgDirs = append(pkgDirs, d)
+				return nil
+			}
+		}
+		return nil
+	}
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(pat, "./")
+		rest, isSubtree := strings.CutSuffix(pat, "/...")
+		base := filepath.Join(root, filepath.FromSlash(strings.TrimSuffix(rest, "/")))
+		if !isSubtree {
+			base = filepath.Join(root, filepath.FromSlash(strings.TrimSuffix(pat, "/")))
+			if err := addDir(base); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				name := d.Name()
+				if path != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				return addDir(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(pkgDirs) == 0 {
+		return nil, fmt.Errorf("no packages match %s", strings.Join(patterns, " "))
+	}
+	m, err := loadDirs(root, modPath, pkgDirs)
+	if err != nil {
+		return nil, err
+	}
+	m.Partial = true
+	return m, nil
 }
 
 func loadDirs(root, modPath string, pkgDirs []string) (*Module, error) {

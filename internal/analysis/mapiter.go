@@ -81,7 +81,7 @@ func checkMapRangeBody(p *Package, r Reporter, rs *ast.RangeStmt, funcBody *ast.
 	ast.Inspect(rs.Body, func(n ast.Node) bool {
 		switch st := n.(type) {
 		case *ast.SendStmt:
-			r.Reportf(st.Pos(), "channel send inside range over map: the receiver observes randomized iteration order")
+			r.ReportRangef(st.Pos(), st.End(), "channel send inside range over map: the receiver observes randomized iteration order")
 		case *ast.AssignStmt:
 			checkMapRangeAssign(p, r, rs, st, funcBody)
 		}
@@ -95,7 +95,7 @@ func checkMapRangeAssign(p *Package, r Reporter, rs *ast.RangeStmt, st *ast.Assi
 	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
 		for _, lhs := range st.Lhs {
 			if isFloatExpr(p.Info, lhs) && !lhsDeclaredIn(p.Info, lhs, rs) {
-				r.Reportf(st.Pos(), "float accumulation inside range over map: float addition is not associative, so the result depends on randomized iteration order (accumulate over sorted keys)")
+				r.ReportRangef(st.Pos(), st.End(), "float accumulation inside range over map: float addition is not associative, so the result depends on randomized iteration order (accumulate over sorted keys)")
 			}
 		}
 	case token.ASSIGN:
@@ -107,7 +107,7 @@ func checkMapRangeAssign(p *Package, r Reporter, rs *ast.RangeStmt, st *ast.Assi
 			// Spelled-out accumulation: sum = sum + v.
 			if bin, ok := ast.Unparen(rhs).(*ast.BinaryExpr); ok && isFloatExpr(p.Info, lhs) && !lhsDeclaredIn(p.Info, lhs, rs) {
 				if obj := objectOfRoot(p.Info, lhs); obj != nil && usesObject(p.Info, bin, obj) {
-					r.Reportf(st.Pos(), "float accumulation inside range over map: float addition is not associative, so the result depends on randomized iteration order (accumulate over sorted keys)")
+					r.ReportRangef(st.Pos(), st.End(), "float accumulation inside range over map: float addition is not associative, so the result depends on randomized iteration order (accumulate over sorted keys)")
 					continue
 				}
 			}
@@ -124,7 +124,7 @@ func checkMapRangeAssign(p *Package, r Reporter, rs *ast.RangeStmt, st *ast.Assi
 			if sortedAfter(p.Info, funcBody, rs, obj) {
 				continue
 			}
-			r.Reportf(st.Pos(), "append to %s inside range over map escapes in randomized iteration order; sort it after the loop or iterate over sorted keys", obj.Name())
+			r.ReportRangef(st.Pos(), st.End(), "append to %s inside range over map escapes in randomized iteration order; sort it after the loop or iterate over sorted keys", obj.Name())
 		}
 	}
 }

@@ -1,0 +1,54 @@
+// Package cachetable is the atomichygiene fixture: a twin of the real
+// cache table's counters. hits participates in sync/atomic by address
+// (style a), gen is declared with an atomic type (style b); any plain
+// access to either is a violation.
+package cachetable
+
+import "sync/atomic"
+
+// Table mixes both atomic styles with one untracked plain field.
+type Table struct {
+	hits uint64
+	gen  atomic.Int64
+	cap  int
+}
+
+// New initializes hits in the literal: pre-publication, nothing else
+// can see the value yet, so the init is sanctioned.
+func New(cap int, warmHits uint64) *Table {
+	return &Table{cap: cap, hits: warmHits}
+}
+
+// Hit and Hits are the sanctioned style-a accesses: the address goes
+// straight into a sync/atomic call.
+func (t *Table) Hit() {
+	atomic.AddUint64(&t.hits, 1)
+}
+
+func (t *Table) Hits() uint64 {
+	return atomic.LoadUint64(&t.hits)
+}
+
+// Bump uses the declared-atomic API: the field as a method receiver.
+func (t *Table) Bump() {
+	t.gen.Add(1)
+}
+
+// Cap reads an untracked field; the analyzer has no opinion.
+func (t *Table) Cap() int { return t.cap }
+
+// BadPlainRead races with the atomic.AddUint64 in Hit.
+func (t *Table) BadPlainRead() uint64 {
+	return t.hits // want "races with its sync/atomic use"
+}
+
+// BadReset writes over the counter the atomic sites increment.
+func (t *Table) BadReset() {
+	t.hits = 0 // want "races with its sync/atomic use"
+}
+
+// BadCopy copies the declared-atomic field by value, bypassing its API.
+func (t *Table) BadCopy() int64 {
+	g := t.gen // want "plain use of atomic-typed field gen"
+	return g.Load()
+}

@@ -1,0 +1,29 @@
+// Package cachestore is the errflow fixture's loader seam: Load* and
+// Warm* errors mean the persisted cache is absent or stale, and the
+// consumer must degrade to cold start.
+package cachestore
+
+import "errors"
+
+var errStale = errors.New("stale spill")
+
+// Table is the warm-cache payload consumers load.
+type Table struct {
+	Entries map[string]int
+}
+
+// LoadTable is a covered loader with the (value, error) shape.
+func LoadTable(path string) (*Table, error) {
+	if path == "" {
+		return nil, errStale
+	}
+	return &Table{Entries: map[string]int{}}, nil
+}
+
+// WarmStart is a covered loader with an error-only result.
+func WarmStart(path string) error {
+	if path == "" {
+		return errStale
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+// Package consumer exercises the cold-start degradation contract on
+// the fixture cachestore's loaders.
+package consumer
+
+import (
+	"fmt"
+
+	"pmevo/internal/analysis/testdata/errflow/cachestore"
+)
+
+func record(err error) {}
+
+// GoodColdStart checks the error and degrades to an empty table — the
+// contract.
+func GoodColdStart(path string) *cachestore.Table {
+	t, err := cachestore.LoadTable(path)
+	if err != nil {
+		return &cachestore.Table{Entries: map[string]int{}}
+	}
+	return t
+}
+
+// GoodLogged hands the error to a recorder: observed, not dropped.
+func GoodLogged(path string) {
+	err := cachestore.WarmStart(path)
+	record(err)
+}
+
+// LoadAll is itself a loader by name: propagating the typed error up
+// to the degradation seam is its job, so it is exempt.
+func LoadAll(paths []string) error {
+	for _, p := range paths {
+		if err := cachestore.WarmStart(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BadDrop discards the error leg outright.
+func BadDrop(path string) *cachestore.Table {
+	t, _ := cachestore.LoadTable(path) // want "error assigned to _"
+	return t
+}
+
+// BadBare drops every result on the floor.
+func BadBare(path string) {
+	cachestore.WarmStart(path) // want "error discarded"
+}
+
+// BadReturn turns a warm-cache miss into the caller's failure.
+func BadReturn(path string) error {
+	err := cachestore.WarmStart(path)
+	return err // want "error returned into the result path"
+}
+
+// BadWrap: wrapping the error does not launder the propagation.
+func BadWrap(path string) error {
+	if err := cachestore.WarmStart(path); err != nil {
+		return fmt.Errorf("warm start: %w", err) // want "error returned into the result path"
+	}
+	return nil
+}
+
+// BadIgnored binds the error and never looks at it.
+func BadIgnored(path string) *cachestore.Table {
+	t, err := cachestore.LoadTable(path) // want "error is never checked"
+	_ = err
+	return t
+}

@@ -1,0 +1,15 @@
+// Package main is scope control for goroutinejoin: entry-point
+// goroutines die with the process, so the analyzer stands down here
+// and this spawn-with-no-join produces no finding.
+package main
+
+func main() {
+	go func() {
+		for {
+			process()
+		}
+	}()
+	select {}
+}
+
+func process() {}

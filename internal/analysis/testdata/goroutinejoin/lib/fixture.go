@@ -1,0 +1,110 @@
+// Package lib is the goroutinejoin fixture: every spawn in library
+// code needs a provable join or termination path.
+package lib
+
+import (
+	"context"
+	"sync"
+)
+
+func work(i int) {}
+
+func compute() int { return 1 }
+
+// GoodWaitGroup pairs Add/Done/Wait — engine's worker-pool shape.
+func GoodWaitGroup(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work(0)
+		}()
+	}
+	wg.Wait()
+}
+
+// GoodCtx: cancellation bounds the watcher's lifetime.
+func GoodCtx(ctx context.Context, tick chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick:
+				work(1)
+			}
+		}
+	}()
+}
+
+// GoodDone: the done channel the spawn drains is closed by the
+// returned stop function — lifecycle's watcher shape.
+func GoodDone(events chan int) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case e := <-events:
+				work(e)
+			}
+		}
+	}()
+	return func() { close(done) }
+}
+
+// GoodHandoff: the result send joins the goroutine at the receive.
+func GoodHandoff() int {
+	out := make(chan int)
+	go func() {
+		out <- compute()
+	}()
+	return <-out
+}
+
+// GoodBounded: a straight-line body terminates by running out of
+// statements.
+func GoodBounded() {
+	go func() {
+		work(1)
+	}()
+}
+
+// BadLoop ranges over a channel this function creates and never
+// closes: the worker can never exit.
+func BadLoop() chan int {
+	events := make(chan int)
+	go func() { // want "no provable join or termination path"
+		for e := range events {
+			work(e)
+		}
+	}()
+	return events
+}
+
+// BadNamed spawns a named function with nothing to join on.
+func BadNamed(n int) {
+	go work(n) // want "no provable join"
+}
+
+// BadForever spins with no signal of any kind.
+func BadForever() {
+	go func() { // want "no provable join or termination path"
+		for {
+			work(2)
+		}
+	}()
+}
+
+// AllowedWatcher's join lives with a supervisor the analyzer cannot
+// see; the annotation names it.
+func AllowedWatcher() {
+	//pmevo:allow goroutinejoin -- fixture twin of a supervised watcher; the supervisor joins it at shutdown
+	go func() {
+		for {
+			work(3)
+		}
+	}()
+}

@@ -1,0 +1,81 @@
+// Package lib is the serialhandle fixture: Evaluator carries the
+// serial doc tag, so its handles must stay with the goroutine that
+// created them.
+package lib
+
+// Evaluator is the fixture twin of engine.BatchEvaluator: it owns
+// draw-counted state only one goroutine may advance.
+//
+//pmevo:serial
+type Evaluator struct {
+	draws int
+}
+
+// NewEvaluator is the sanctioned hand-off: a constructor returning the
+// handle.
+func NewEvaluator() *Evaluator { return &Evaluator{} }
+
+type island struct {
+	ev *Evaluator
+}
+
+var shared *Evaluator
+
+// GoodLocal keeps the handle inside one goroutine: local assignments
+// stay confined.
+func GoodLocal() int {
+	ev := NewEvaluator()
+	other := ev
+	other.draws++
+	return other.draws
+}
+
+// GoodIsland mirrors evo's per-island state: a deliberate store into a
+// single-goroutine structure carries the ownership annotation.
+func GoodIsland() *island {
+	ev := NewEvaluator()
+	return &island{
+		//pmevo:allow serialhandle -- fixture twin of the per-island handle; one worker goroutine owns each island
+		ev: ev,
+	}
+}
+
+// BadGlobal publishes the handle to every goroutine.
+func BadGlobal() {
+	ev := NewEvaluator()
+	shared = ev // want "stored in package variable shared"
+}
+
+// BadSend moves the handle to whichever goroutine drains the channel.
+func BadSend(ch chan *Evaluator) {
+	ev := NewEvaluator()
+	ch <- ev // want "sent on a channel"
+}
+
+// BadSpawnArg hands the handle to a spawned goroutine directly.
+func BadSpawnArg(work func(*Evaluator)) {
+	ev := NewEvaluator()
+	go work(ev) // want "passed to a spawned goroutine"
+}
+
+// BadCapture lets a spawned closure advance the serial state.
+func BadCapture() {
+	ev := NewEvaluator()
+	go func() { // want "captured by a spawned goroutine"
+		ev.draws++
+	}()
+}
+
+// BadStash stores the handle through a parameter path another
+// goroutine can read it back out of.
+func BadStash(isl *island) {
+	ev := NewEvaluator()
+	isl.ev = ev // want "escapes the creating function"
+}
+
+// BadLit builds a shared-able aggregate around the handle without a
+// documented owner.
+func BadLit() island {
+	ev := NewEvaluator()
+	return island{ev: ev} // want "stored into a composite literal"
+}

@@ -692,6 +692,8 @@ func (s *Service) EvaluateAll(ctx context.Context, ms []*portmap.Mapping, out []
 // cross-generation fitness cache (both are bit-exact pure-function
 // caches, so sharing never changes results). A BatchEvaluator itself is
 // not safe for concurrent use.
+//
+//pmevo:serial
 type BatchEvaluator struct {
 	svc *Service
 	sc  evalScratch

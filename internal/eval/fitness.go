@@ -101,7 +101,10 @@ func RunFitnessBench(ctx context.Context, scale Scale, cacheDir string) (*Fitnes
 	var warm []cachetable.Entry
 	if cacheDir != "" {
 		res.WarmStart = true
-		warm, _ = engine.LoadMemo(engine.MemoPath(cacheDir), set)
+		warm, err = engine.LoadMemo(engine.MemoPath(cacheDir), set)
+		if err != nil {
+			warm = nil // cold start: an absent or stale memo spill just means no warm entries
+		}
 		res.WarmEntries = len(warm)
 	}
 	run := func(disable bool) (FitnessBenchRun, []cachetable.Entry, error) {

@@ -124,7 +124,12 @@ func runMeasureBenchArch(ctx context.Context, name string, scale Scale, cacheDir
 		// SimWarmHits. The baseline bypasses the cache either way.
 		measure.FlushSimCache()
 		if cacheDir != "" {
-			measure.LoadSimCache(measure.SimCachePath(cacheDir))
+			if _, err := measure.LoadSimCache(measure.SimCachePath(cacheDir)); err != nil {
+				// Cold start: the spill is absent or stale. Re-flush so a
+				// partially applied load cannot skew the warm-hit
+				// attribution; the in-run measurements repay the cache.
+				measure.FlushSimCache()
+			}
 		}
 		proc, err := uarch.ByName(name)
 		if err != nil {

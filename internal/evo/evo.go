@@ -804,7 +804,8 @@ func runIslands(ctx context.Context, set *exp.Set, opts Options, svc *engine.Ser
 			rng:  rng,
 			src:  src,
 			seen: make(map[uint64]engine.Fitness),
-			be:   svc.NewBatchEvaluator(),
+			//pmevo:allow serialhandle -- each island is owned by exactly one worker goroutine per generation (see runIslands); the handle never crosses islands
+			be: svc.NewBatchEvaluator(),
 		}
 	}
 	restoredEpoch := false

@@ -313,6 +313,7 @@ func (s *sim) onPeriodFound(rec periodRec) {
 		// it from the same period, with its own independently simulated
 		// tail from the recurrence state.
 		fExtra, fr := tailFor(s.forkAt)
+		//pmevo:allow scratchescape -- ownership transfers to s.fork via capture; runPair's epilogue releases both scratches
 		fsc := s.m.getScratch()
 		f := &sim{}
 		s.capture(f, fsc)
@@ -351,6 +352,7 @@ func (s *sim) dispatchStage() int {
 				s.bodyIdx = 0
 				s.iter++
 				if s.iter == s.forkAt && s.fork == nil {
+					//pmevo:allow scratchescape -- ownership transfers to s.fork via capture; runPair's epilogue releases both scratches
 					fsc := s.m.getScratch()
 					f := &sim{}
 					s.capture(f, fsc)
